@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8(a): all-hit microbenchmarks with streaming
+ * indices (B[i] = i). Paper speedups: Gather-SPD 1.2x, Gather-Full
+ * 3.2x, RMW vs atomic baseline 17.8x, RMW vs non-atomic 3.7x, Scatter
+ * 6.6x (single-core configs).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/experiment.hh"
+#include "workloads/micro.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+namespace
+{
+
+double
+speedupOf(Workload &base, Workload &dx, const SystemConfig &baseCfg,
+          const SystemConfig &dxCfg)
+{
+    const RunStats b = runWorkloadOnce(base, baseCfg);
+    const RunStats d = runWorkloadOnce(dx, dxCfg);
+    return static_cast<double>(b.cycles) / d.cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Fig. 8(a) - all-hit microbenchmarks", opt);
+
+    const auto n = static_cast<std::size_t>(1 << 18);
+
+    std::printf("%-12s %9s %9s\n", "kernel", "speedup", "paper");
+
+    {
+        GatherMicro b(GatherMicro::Mode::kSpd, n);
+        GatherMicro d(GatherMicro::Mode::kSpd, n);
+        std::printf("%-12s %8.2fx %9s\n", "Gather-SPD",
+                    speedupOf(b, d, SystemConfig::baseline(),
+                              SystemConfig::withDx100()),
+                    "1.2x");
+    }
+    {
+        GatherMicro b(GatherMicro::Mode::kFull, n);
+        GatherMicro d(GatherMicro::Mode::kFull, n);
+        std::printf("%-12s %8.2fx %9s\n", "Gather-Full",
+                    speedupOf(b, d, SystemConfig::baseline(),
+                              SystemConfig::withDx100()),
+                    "3.2x");
+    }
+    {
+        RmwMicro b(n, /*atomic=*/true);
+        RmwMicro d(n, true);
+        std::printf("%-12s %8.2fx %9s\n", "RMW-Atomic",
+                    speedupOf(b, d, SystemConfig::baseline(),
+                              SystemConfig::withDx100()),
+                    "17.8x");
+    }
+    {
+        RmwMicro b(n, /*atomic=*/false);
+        RmwMicro d(n, false);
+        std::printf("%-12s %8.2fx %9s\n", "RMW-NoAtom",
+                    speedupOf(b, d, SystemConfig::baseline(),
+                              SystemConfig::withDx100()),
+                    "3.7x");
+    }
+    {
+        // Scatter cannot be parallelized safely: 1-core configs, with
+        // the paper's 4MB/2MB LLC split.
+        SystemConfig bc = SystemConfig::baseline(1);
+        bc.llc.sizeBytes = 4 * 1024 * 1024;
+        bc.llc.assoc = 16;
+        SystemConfig dc = SystemConfig::withDx100(1);
+        dc.llc.sizeBytes = 2 * 1024 * 1024;
+        dc.llc.assoc = 16;
+        ScatterMicro b(n, /*streaming=*/true);
+        ScatterMicro d(n, true);
+        std::printf("%-12s %8.2fx %9s\n", "Scatter",
+                    speedupOf(b, d, bc, dc), "6.6x");
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: DX100 vs the DMP-style indirect prefetcher
+ * — (a) speedup (paper geomean 2.0x) and (b) bandwidth utilization
+ * (paper 3.3x higher for DX100).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+int
+main(int argc, char **argv)
+{
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Fig. 12 - DX100 vs DMP indirect prefetcher",
+                     opt);
+
+    std::printf("%-8s %14s %14s %9s | %6s %6s %6s\n", "kernel",
+                "dmp cycles", "dx100 cycles", "speedup", "bw.dmp",
+                "bw.dx", "ratio");
+    std::vector<double> speedups, bwRatios;
+    for (const auto &entry : paperWorkloads()) {
+        const RunStats dmp = runWorkload(
+            entry, SystemConfig::withDmp(), "dmp", opt);
+        const RunStats dx = runWorkload(
+            entry, SystemConfig::withDx100(), "dx100", opt);
+
+        const double speedup =
+            static_cast<double>(dmp.cycles) / dx.cycles;
+        const double bwR =
+            dx.bandwidthUtil / std::max(dmp.bandwidthUtil, 1e-9);
+        speedups.push_back(speedup);
+        bwRatios.push_back(bwR);
+
+        std::printf("%-8s %14llu %14llu %8.2fx | %6.3f %6.3f %5.1fx\n",
+                    entry.name.c_str(),
+                    static_cast<unsigned long long>(dmp.cycles),
+                    static_cast<unsigned long long>(dx.cycles),
+                    speedup, dmp.bandwidthUtil, dx.bandwidthUtil,
+                    bwR);
+    }
+    std::printf("%-8s %29s %8.2fx | %12s %6.1fx\n", "geomean",
+                "(paper 2.0x)", geomean(speedups), "(paper 3.3x)",
+                geomean(bwRatios));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: scalability with core count and DX100
+ * instance count. Paper: 2.6x speedup with 4 cores / 1 instance, 2.5x
+ * with 8 cores / 1 instance (4 channels), 2.7x with 8 cores / 2
+ * instances (core multiplexing + region coherence).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+namespace
+{
+
+double
+geomeanSpeedup(unsigned cores, unsigned instances,
+               const ExpOptions &opt)
+{
+    // The paper doubles the dataset along with the core count.
+    ExpOptions scaled = opt;
+    if (cores > 4)
+        scaled.scale = opt.scale * 2.0;
+
+    std::vector<double> speedups;
+    for (const auto &entry : paperWorkloads()) {
+        const RunStats base = runWorkload(
+            entry, SystemConfig::baseline(cores),
+            "baseline" + std::to_string(cores), scaled);
+        SystemConfig cfg = SystemConfig::withDx100(cores, instances);
+        // A single instance serving 8 cores gets a near-doubled
+        // scratchpad (paper: one 4MB instance vs two 2MB instances);
+        // tile ids are 6-bit with 0x3f reserved, capping at 60 tiles.
+        if (cores > 4 && instances == 1)
+            cfg.dx.numTiles = 60;
+        const RunStats dx = runWorkload(
+            entry, cfg,
+            "dx100_c" + std::to_string(cores) + "i" +
+                std::to_string(instances),
+            scaled);
+        speedups.push_back(static_cast<double>(base.cycles) /
+                           dx.cycles);
+    }
+    return geomean(speedups);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Fig. 14 - scalability (cores x instances)", opt);
+
+    std::printf("%-26s %9s %9s\n", "configuration", "geomean",
+                "paper");
+    std::printf("%-26s %8.2fx %9s\n", "4 cores, 1 instance",
+                geomeanSpeedup(4, 1, opt), "2.6x");
+    std::printf("%-26s %8.2fx %9s\n", "8 cores, 1 instance (4ch)",
+                geomeanSpeedup(8, 1, opt), "2.5x");
+    std::printf("%-26s %8.2fx %9s\n", "8 cores, 2 instances",
+                geomeanSpeedup(8, 2, opt), "2.7x");
+    return 0;
+}

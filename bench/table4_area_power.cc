@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Table 4 (DX100 area/power at 28 nm) and the §6.5
+ * scaling discussion (14 nm total ~1.5 mm^2, 3.7% processor overhead
+ * when shared by four cores).
+ */
+
+#include <cstdio>
+
+#include "model/area_power.hh"
+
+using namespace dx::model;
+
+int
+main()
+{
+    std::printf("Table 4 - DX100 area and power (28 nm)\n");
+    std::printf("%-18s %12s %12s\n", "Module", "Area (mm^2)",
+                "Power (mW)");
+    for (const auto &c : AreaPowerModel::components()) {
+        std::printf("%-18s %12.3f %12.2f\n", c.name.c_str(),
+                    c.areaMm2atlas28, c.powerMw28);
+    }
+    std::printf("%-18s %12.3f %12.2f   (paper: 4.061 / 777.17)\n",
+                "Total", AreaPowerModel::totalArea28(),
+                AreaPowerModel::totalPower28());
+
+    std::printf("\nScaled to 14 nm (Stillmaker & Baas factors):\n");
+    std::printf("  total area       %6.2f mm^2   (paper: ~1.5)\n",
+                AreaPowerModel::totalArea14());
+    std::printf("  LLC slice equiv  %6.2f mm^2   (paper: ~2.3 per "
+                "2MB)\n",
+                AreaPowerModel::kLlcSliceArea14);
+    std::printf("  4-core overhead  %6.2f %%     (paper: 3.7%%)\n",
+                AreaPowerModel::processorOverhead(4) * 100.0);
+    return 0;
+}

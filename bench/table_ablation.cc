@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation studies for the design choices called out in DESIGN.md §4,
+ * run on the all-miss Gather-Full microbenchmark (worst-case index
+ * order, where every mechanism matters):
+ *
+ *   1. DRAM address-interleaving order (channel/bank-group placement);
+ *   2. memory-controller request-buffer depth (the visibility window
+ *      the paper argues is too small, §2.1);
+ *   3. DX100 Row Table fill rate;
+ *   4. Row Table capacity (rows per slice).
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "workloads/micro.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+namespace
+{
+
+DramPatternParams
+worstPattern()
+{
+    DramPatternParams p;
+    p.rbhPercent = 0;
+    p.channelInterleave = false;
+    p.bankGroupInterleave = false;
+    return p;
+}
+
+struct Result
+{
+    Cycle baseCycles;
+    Cycle dxCycles;
+    double dxBw;
+};
+
+Result
+run(const SystemConfig &baseCfg, const SystemConfig &dxCfg)
+{
+    const std::size_t n = 64 * 1024;
+    GatherMicro wb(GatherMicro::Mode::kFull, n, worstPattern());
+    const RunStats b = runWorkloadOnce(wb, baseCfg);
+    GatherMicro wd(GatherMicro::Mode::kFull, n, worstPattern());
+    const RunStats d = runWorkloadOnce(wd, dxCfg);
+    return {b.cycles, d.cycles, d.bandwidthUtil};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Ablations - all-miss gather, worst index order",
+                     opt);
+
+    std::printf("--- address interleaving order ---\n");
+    std::printf("%-14s %12s %12s %9s %7s\n", "order", "base", "dx100",
+                "speedup", "dx bw");
+    for (auto order : {mem::MapOrder::kChBgCoBaRo,
+                       mem::MapOrder::kChCoBgBaRo,
+                       mem::MapOrder::kCoChBgBaRo}) {
+        SystemConfig bc = SystemConfig::baseline();
+        bc.dram.order = order;
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dram.order = order;
+        const Result r = run(bc, dc);
+        std::printf("%-14s %12llu %12llu %8.2fx %6.1f%%\n",
+                    mem::to_string(order).c_str(),
+                    static_cast<unsigned long long>(r.baseCycles),
+                    static_cast<unsigned long long>(r.dxCycles),
+                    static_cast<double>(r.baseCycles) / r.dxCycles,
+                    r.dxBw * 100);
+    }
+
+    std::printf("\n--- request buffer depth (baseline visibility) ---\n");
+    std::printf("%-14s %12s %12s %9s\n", "entries", "base", "dx100",
+                "speedup");
+    for (unsigned q : {8u, 16u, 32u, 64u, 128u}) {
+        SystemConfig bc = SystemConfig::baseline();
+        bc.dram.ctrl.readQueueSize = q;
+        bc.dram.ctrl.writeQueueSize = q;
+        bc.dram.ctrl.writeHiWatermark = 3 * q / 4;
+        bc.dram.ctrl.writeLoWatermark = q / 4;
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dram.ctrl = bc.dram.ctrl;
+        const Result r = run(bc, dc);
+        std::printf("%-14u %12llu %12llu %8.2fx\n", q,
+                    static_cast<unsigned long long>(r.baseCycles),
+                    static_cast<unsigned long long>(r.dxCycles),
+                    static_cast<double>(r.baseCycles) / r.dxCycles);
+    }
+
+    std::printf("\n--- DX100 fill rate (indices/cycle) ---\n");
+    std::printf("%-14s %12s %7s\n", "fill rate", "dx100", "dx bw");
+    for (unsigned f : {2u, 4u, 8u, 16u, 32u}) {
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dx.fillRate = f;
+        const Result r = run(SystemConfig::baseline(), dc);
+        std::printf("%-14u %12llu %6.1f%%\n", f,
+                    static_cast<unsigned long long>(r.dxCycles),
+                    r.dxBw * 100);
+    }
+
+    std::printf("\n--- Row Table rows per slice ---\n");
+    std::printf("%-14s %12s %7s\n", "rows/slice", "dx100", "dx bw");
+    for (unsigned rows : {8u, 16u, 32u, 64u, 128u}) {
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dx.rowsPerSlice = rows;
+        const Result r = run(SystemConfig::baseline(), dc);
+        std::printf("%-14u %12llu %6.1f%%\n", rows,
+                    static_cast<unsigned long long>(r.dxCycles),
+                    r.dxBw * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Compiler example: the paper's §4.2 pipeline on the miniature loop
+ * IR. Builds the legacy loop
+ *
+ *     for i in [0, n): if (D[i] >= 3) A[B[i]] += V[i]
+ *
+ * as IR, runs the analysis / legality / codegen passes, prints the
+ * generated DX100 packed-op plan, executes the *same IR* both as a
+ * baseline micro-op stream and as the compiled DX100 program on the
+ * simulator, and cross-checks both against the IR interpreter. Also
+ * demonstrates a legality rejection (the Gauss-Seidel aliasing case).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "loopir/exec.hh"
+#include "loopir/passes.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dx;
+using namespace dx::loopir;
+using namespace dx::sim;
+
+namespace
+{
+
+Program
+buildProgram(SimAllocator &alloc, std::size_t n)
+{
+    Program prog;
+    prog.lo = 0;
+    prog.hi = n;
+    const int a = prog.addArray("A", alloc.alloc(n * 4),
+                                DataType::kU32, n);
+    const int b = prog.addArray("B", alloc.alloc(n * 4),
+                                DataType::kU32, n);
+    const int v = prog.addArray("V", alloc.alloc(n * 4),
+                                DataType::kU32, n);
+    const int d = prog.addArray("D", alloc.alloc(n * 4),
+                                DataType::kU32, n);
+
+    Stmt s;
+    s.kind = Stmt::Kind::kRmw;
+    s.rmwOp = AluOp::kAdd;
+    s.array = a;
+    s.index = Expr::ref(b, Expr::indVar());
+    s.value = Expr::ref(v, Expr::indVar());
+    s.cond = Expr::bin(AluOp::kGe, Expr::ref(d, Expr::indVar()),
+                       Expr::cnst(3));
+    prog.body.push_back(s);
+    return prog;
+}
+
+void
+initData(const Program &prog, SimMemory &mem, std::size_t n)
+{
+    Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+        mem.write<std::uint32_t>(prog.arrays[0].base + i * 4, 0);
+        mem.write<std::uint32_t>(
+            prog.arrays[1].base + i * 4,
+            static_cast<std::uint32_t>(rng.below(n)));
+        mem.write<std::uint32_t>(
+            prog.arrays[2].base + i * 4,
+            static_cast<std::uint32_t>(rng.below(100)));
+        mem.write<std::uint32_t>(
+            prog.arrays[3].base + i * 4,
+            static_cast<std::uint32_t>(rng.below(8)));
+    }
+}
+
+std::vector<std::uint32_t>
+snapshotA(const Program &prog, SimMemory &mem, std::size_t n)
+{
+    std::vector<std::uint32_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = mem.read<std::uint32_t>(prog.arrays[0].base + i * 4);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t n = 1 << 15;
+
+    // ---- reference: interpret the IR on a private memory ------------
+    SimMemory refMem;
+    SimAllocator refAlloc;
+    Program refProg = buildProgram(refAlloc, n);
+    initData(refProg, refMem, n);
+    interpret(refProg, refMem);
+    const auto expect = snapshotA(refProg, refMem, n);
+
+    // ---- compile ------------------------------------------------------
+    const CodegenResult cg = lowerToDx100(refProg);
+    if (!cg.ok) {
+        std::printf("codegen failed: %s\n", cg.reason.c_str());
+        return 1;
+    }
+    std::printf("generated DX100 program:\n%s\n",
+                planToString(refProg, cg.plan).c_str());
+
+    // ---- run the compiled plan on the simulated DX100 system ---------
+    System dxSys(SystemConfig::withDx100());
+    Program dxProg = buildProgram(dxSys.allocator(), n);
+    initData(dxProg, dxSys.memory(), n);
+    for (const auto &arr : dxProg.arrays) {
+        dxSys.runtime(0)->registerRegion(arr.base,
+                                         arr.size * 4);
+    }
+    std::vector<std::unique_ptr<cpu::Kernel>> dxKernels;
+    for (unsigned c = 0; c < dxSys.cores(); ++c) {
+        const auto [bg, en] = wl::coreSlice(n, c, dxSys.cores());
+        dxKernels.push_back(makeDx100Kernel(
+            dxProg, cg.plan, *dxSys.runtimeFor(c),
+            static_cast<int>(c), bg, en));
+        dxSys.setKernel(c, dxKernels.back().get());
+    }
+    const RunStats dxStats = dxSys.run();
+    const bool dxOk = snapshotA(dxProg, dxSys.memory(), n) == expect;
+
+    // ---- run the un-offloaded loop on the baseline system ------------
+    System baseSys(SystemConfig::baseline());
+    Program baseProg = buildProgram(baseSys.allocator(), n);
+    initData(baseProg, baseSys.memory(), n);
+    std::vector<std::unique_ptr<cpu::Kernel>> baseKernels;
+    for (unsigned c = 0; c < baseSys.cores(); ++c) {
+        const auto [bg, en] = wl::coreSlice(n, c, baseSys.cores());
+        baseKernels.push_back(makeBaselineKernel(
+            baseProg, baseSys.memory(), bg, en));
+        baseSys.setKernel(c, baseKernels.back().get());
+    }
+    const RunStats baseStats = baseSys.run();
+    const bool baseOk =
+        snapshotA(baseProg, baseSys.memory(), n) == expect;
+
+    std::printf("baseline: %llu cycles (%s)\n",
+                static_cast<unsigned long long>(baseStats.cycles),
+                baseOk ? "correct" : "WRONG");
+    std::printf("dx100:    %llu cycles (%s), speedup %.2fx\n",
+                static_cast<unsigned long long>(dxStats.cycles),
+                dxOk ? "correct" : "WRONG",
+                static_cast<double>(baseStats.cycles) /
+                    dxStats.cycles);
+
+    // ---- legality: the Gauss-Seidel rejection -------------------------
+    Program illegal = buildProgram(refAlloc, n);
+    // A[B[i]] += A[C[i]]-style aliasing: value loads from the stored
+    // array.
+    illegal.body[0].value = Expr::ref(0, Expr::indVar());
+    const Legality verdict = checkLegality(illegal);
+    std::printf("\nlegality check on aliasing loop: %s (%s)\n",
+                verdict.ok ? "ACCEPTED (bug!)" : "rejected",
+                verdict.reason.c_str());
+
+    return (dxOk && baseOk && !verdict.ok) ? 0 : 1;
+}

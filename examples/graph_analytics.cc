@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: graph analytics (the paper's motivating GAP suite).
+ *
+ * Runs one PageRank iteration on a uniform random graph three ways —
+ * multicore baseline, baseline + DMP indirect prefetcher, and DX100 —
+ * and prints a side-by-side architectural comparison. This is the
+ * experiment class behind paper Figs. 9-12, at example scale.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/experiment.hh"
+#include "workloads/gap.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+namespace
+{
+
+RunStats
+run(const SystemConfig &cfg, const char *label)
+{
+    PageRank w{Scale{0.1}};
+    std::printf("running %-10s ...\n", label);
+    return runWorkloadOnce(w, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    const RunStats base = run(SystemConfig::baseline(), "baseline");
+    const RunStats dmp = run(SystemConfig::withDmp(), "DMP");
+    const RunStats dx = run(SystemConfig::withDx100(), "DX100");
+
+    std::printf("\n%-24s %12s %12s %12s\n", "PageRank (1 iteration)",
+                "baseline", "DMP", "DX100");
+    std::printf("%-24s %12llu %12llu %12llu\n", "cycles",
+                static_cast<unsigned long long>(base.cycles),
+                static_cast<unsigned long long>(dmp.cycles),
+                static_cast<unsigned long long>(dx.cycles));
+    std::printf("%-24s %12s %11.2fx %11.2fx\n", "speedup", "1.00x",
+                static_cast<double>(base.cycles) / dmp.cycles,
+                static_cast<double>(base.cycles) / dx.cycles);
+    std::printf("%-24s %11.1f%% %11.1f%% %11.1f%%\n",
+                "DRAM bus utilization", base.bandwidthUtil * 100,
+                dmp.bandwidthUtil * 100, dx.bandwidthUtil * 100);
+    std::printf("%-24s %11.1f%% %11.1f%% %11.1f%%\n",
+                "row-buffer hit rate", base.rowBufferHitRate * 100,
+                dmp.rowBufferHitRate * 100,
+                dx.rowBufferHitRate * 100);
+    std::printf("%-24s %12llu %12llu %12llu\n", "core instructions",
+                static_cast<unsigned long long>(base.instructions),
+                static_cast<unsigned long long>(dmp.instructions),
+                static_cast<unsigned long long>(dx.instructions));
+    std::printf("\nWhy DX100 wins here: the scattered newScore[E[j]]\n"
+                "updates need atomic RMWs on the cores (fence-\n"
+                "serialized), while DX100 reorders them into row-\n"
+                "buffer-friendly bulk IRMWs with exclusive access.\n");
+    return 0;
+}

@@ -1,0 +1,398 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx::cache
+{
+
+Cache::Cache(const Config &cfg, CachePort *downstream)
+    : cfg_(cfg), downstream_(downstream)
+{
+    dx_assert(downstream_, "cache needs a downstream port");
+    const std::uint64_t lines = cfg_.sizeBytes / kLineBytes;
+    dx_assert(lines % cfg_.assoc == 0, "size/assoc mismatch");
+    numSets_ = static_cast<unsigned>(lines / cfg_.assoc);
+    dx_assert((numSets_ & (numSets_ - 1)) == 0,
+              "set count must be a power of two");
+    sets_.assign(numSets_, std::vector<Way>(cfg_.assoc));
+    mshrs_.assign(cfg_.mshrs, Mshr{});
+}
+
+void
+Cache::setPrefetcher(std::unique_ptr<Prefetcher> pf)
+{
+    prefetcher_ = std::move(pf);
+}
+
+unsigned
+Cache::setIndex(Addr line) const
+{
+    return static_cast<unsigned>((line >> kLineShift) & (numSets_ - 1));
+}
+
+Cache::Way *
+Cache::lookup(Addr line)
+{
+    auto &set = sets_[setIndex(line)];
+    for (auto &way : set) {
+        if (way.valid && way.tag == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+int
+Cache::mshrFor(Addr line) const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        if (mshrs_[i].valid && mshrs_[i].line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Cache::freeMshr() const
+{
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        if (!mshrs_[i].valid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+Cache::portCanAccept() const
+{
+    return queue_.size() < cfg_.queueSize;
+}
+
+void
+Cache::portRequest(const CacheReq &req)
+{
+    dx_assert(portCanAccept(), cfg_.name, ": input queue overflow");
+    queue_.push_back({req, now_ + cfg_.latency});
+}
+
+bool
+Cache::containsLine(Addr line) const
+{
+    line = lineAlign(line);
+    const auto &set = sets_[setIndex(line)];
+    for (const auto &way : set) {
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return mshrFor(line) >= 0;
+}
+
+bool
+Cache::tagsHold(Addr line) const
+{
+    line = lineAlign(line);
+    const auto &set = sets_[setIndex(line)];
+    for (const auto &way : set) {
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidateLine(Addr line)
+{
+    line = lineAlign(line);
+    auto &set = sets_[setIndex(line)];
+    for (auto &way : set) {
+        if (way.valid && way.tag == line) {
+            const bool dirty = way.dirty;
+            way = Way{};
+            return dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::installLine(Addr line, bool dirty, bool prefetched)
+{
+    auto &set = sets_[setIndex(line)];
+
+    // Refill of a line that is already present (e.g. a full-line write
+    // raced with a fill): just merge the dirty bit.
+    for (auto &way : set) {
+        if (way.valid && way.tag == line) {
+            way.dirty = way.dirty || dirty;
+            way.lastUse = ++useCounter_;
+            return;
+        }
+    }
+
+    Way *victim = nullptr;
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        bool victimDirty = victim->dirty;
+        if (cfg_.inclusiveRoot) {
+            for (Cache *child : children_) {
+                if (child->invalidateLine(victim->tag))
+                    victimDirty = true;
+                ++stats_.backInvalidates;
+            }
+        }
+        if (victimDirty) {
+            writebacks_.push_back(victim->tag);
+            ++stats_.writebacks;
+        }
+    }
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->lastUse = ++useCounter_;
+}
+
+bool
+Cache::processRequest(const CacheReq &req)
+{
+    const Addr line = lineAlign(req.addr);
+    const bool demand = req.origin == mem::Origin::kCpuDemand;
+    const bool dxTraffic = req.origin == mem::Origin::kDx100;
+
+    Way *way = lookup(line);
+    if (way) {
+        if (demand) {
+            ++stats_.demandAccesses;
+            ++stats_.demandHits;
+            if (way->prefetched) {
+                ++stats_.prefetchesUseful;
+                way->prefetched = false;
+            }
+            if (prefetcher_)
+                prefetcher_->observe(req, false);
+        } else if (dxTraffic) {
+            ++stats_.dxHits;
+        }
+        if (req.write)
+            way->dirty = true;
+        way->lastUse = ++useCounter_;
+        if (req.sink)
+            req.sink->cacheResponse(req.tag);
+        return true;
+    }
+
+    // Full-line writes (writebacks from above, bulk stores) allocate
+    // without fetching.
+    if (req.write && req.fullLine) {
+        installLine(line, true, false);
+        if (req.sink)
+            req.sink->cacheResponse(req.tag);
+        return true;
+    }
+
+    // Miss. Coalesce into an existing MSHR if one is outstanding.
+    const int existing = mshrFor(line);
+    if (existing >= 0) {
+        Mshr &m = mshrs_[static_cast<unsigned>(existing)];
+        if (m.targets.size() >= cfg_.targetsPerMshr) {
+            ++stats_.stallMshrFull;
+            return false;
+        }
+        if (demand) {
+            ++stats_.demandAccesses;
+            ++stats_.demandMisses;
+            ++stats_.mshrCoalesced;
+            if (prefetcher_)
+                prefetcher_->observe(req, true);
+        } else if (dxTraffic) {
+            ++stats_.dxMisses;
+        } else if (req.origin == mem::Origin::kPrefetch && !req.sink) {
+            // A *local* prefetch racing a live fill: drop it. (A
+            // forwarded prefetch from an upper level carries a sink
+            // and must be answered, so it coalesces like a demand.)
+            return true;
+        }
+        if (req.sink || req.write)
+            m.targets.push_back({req.tag, req.sink, req.write});
+        return true;
+    }
+
+    const int idx = freeMshr();
+    if (idx < 0) {
+        ++stats_.stallMshrFull;
+        return false;
+    }
+    CacheReq probe;
+    probe.addr = line;
+    if (!downstream_->portCanAcceptReq(probe)) {
+        ++stats_.stallDownstream;
+        return false;
+    }
+
+    if (demand) {
+        ++stats_.demandAccesses;
+        ++stats_.demandMisses;
+        if (prefetcher_)
+            prefetcher_->observe(req, true);
+    } else if (dxTraffic) {
+        ++stats_.dxMisses;
+    }
+
+    Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+    m.valid = true;
+    m.line = line;
+    m.dirtyOnFill = req.write;
+    m.prefetch = req.origin == mem::Origin::kPrefetch;
+    m.targets.clear();
+    if (req.sink || req.write)
+        m.targets.push_back({req.tag, req.sink, req.write});
+
+    CacheReq down;
+    down.addr = req.addr;
+    down.write = false; // fetch; dirtiness handled on fill
+    down.origin = req.origin;
+    // Forward the static-instruction id and loaded value so the next
+    // level's prefetcher can train on the miss stream.
+    down.pc = req.pc;
+    down.value = req.value;
+    down.tag = static_cast<std::uint64_t>(idx);
+    down.sink = this;
+    downstream_->portRequest(down);
+    return true;
+}
+
+void
+Cache::cacheResponse(std::uint64_t tag)
+{
+    dx_assert(tag < mshrs_.size(), cfg_.name, ": bogus fill tag");
+    Mshr &m = mshrs_[tag];
+    dx_assert(m.valid, cfg_.name, ": fill for idle MSHR");
+
+    installLine(m.line, m.dirtyOnFill, m.prefetch);
+    if (m.prefetch)
+        ++stats_.prefetchesIssued;
+
+    for (const auto &t : m.targets) {
+        if (t.sink)
+            t.sink->cacheResponse(t.tag);
+    }
+    m = Mshr{};
+}
+
+void
+Cache::drainWritebacks()
+{
+    while (!writebacks_.empty()) {
+        CacheReq wb;
+        wb.addr = writebacks_.front();
+        wb.write = true;
+        wb.fullLine = true;
+        wb.origin = mem::Origin::kWriteback;
+        wb.sink = nullptr;
+        if (!downstream_->portCanAcceptReq(wb))
+            return;
+        downstream_->portRequest(wb);
+        writebacks_.pop_front();
+    }
+}
+
+void
+Cache::issuePrefetches()
+{
+    if (!prefetcher_)
+        return;
+    for (unsigned n = 0; n < 2; ++n) {
+        Addr line;
+        if (!prefetcher_->nextPrefetch(line))
+            return;
+        if (containsLine(line))
+            continue;
+        const int idx = freeMshr();
+        CacheReq probe;
+        probe.addr = lineAlign(line);
+        if (idx < 0 || !downstream_->portCanAcceptReq(probe))
+            return;
+
+        Mshr &m = mshrs_[static_cast<unsigned>(idx)];
+        m.valid = true;
+        m.line = lineAlign(line);
+        m.dirtyOnFill = false;
+        m.prefetch = true;
+        m.targets.clear();
+
+        CacheReq down;
+        down.addr = m.line;
+        down.write = false;
+        down.origin = mem::Origin::kPrefetch;
+        down.tag = static_cast<std::uint64_t>(idx);
+        down.sink = this;
+        downstream_->portRequest(down);
+    }
+}
+
+void
+Cache::tick()
+{
+    ++now_;
+    drainWritebacks();
+
+    for (unsigned n = 0; n < cfg_.width && !queue_.empty(); ++n) {
+        Pending &p = queue_.front();
+        if (p.readyAt > now_)
+            break;
+        if (!processRequest(p.req))
+            break; // structural stall: retry next cycle
+        queue_.pop_front();
+    }
+
+    issuePrefetches();
+}
+
+std::string
+Cache::debugDump() const
+{
+    std::ostringstream os;
+    os << cfg_.name << ": queue=" << queue_.size()
+       << " writebacks=" << writebacks_.size() << " mshrs:";
+    for (unsigned i = 0; i < mshrs_.size(); ++i) {
+        const Mshr &m = mshrs_[i];
+        if (!m.valid)
+            continue;
+        os << " [" << i << " line=0x" << std::hex << m.line << std::dec
+           << " targets=" << m.targets.size()
+           << (m.prefetch ? " pf" : "")
+           << (m.dirtyOnFill ? " dirty" : "") << "]";
+    }
+    for (const auto &p : queue_) {
+        os << " {q addr=0x" << std::hex << p.req.addr << std::dec
+           << " w=" << p.req.write << " org="
+           << static_cast<int>(p.req.origin) << "}";
+    }
+    return os.str();
+}
+
+bool
+Cache::busy() const
+{
+    if (!queue_.empty() || !writebacks_.empty())
+        return true;
+    for (const auto &m : mshrs_) {
+        if (m.valid)
+            return true;
+    }
+    return false;
+}
+
+} // namespace dx::cache

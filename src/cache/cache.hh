@@ -1,0 +1,170 @@
+/**
+ * @file
+ * A cycle-level set-associative write-back cache with MSHRs.
+ *
+ * Used for the private L1D/L2 and the shared LLC. Misses allocate MSHRs
+ * (coalescing secondary accesses as targets) and forward downstream
+ * through a CachePort. The LLC acts as the inclusive root: evictions
+ * back-invalidate the private levels, which also gives DX100 an exact
+ * one-bit "is this line cached anywhere?" snoop (the H bit of §3.6).
+ */
+
+#ifndef DX_CACHE_CACHE_HH
+#define DX_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_if.hh"
+#include "cache/prefetcher.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dx::cache
+{
+
+class Cache : public CachePort, public CacheRespSink
+{
+  public:
+    struct Config
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 32 * 1024;
+        unsigned assoc = 8;
+        unsigned latency = 4;        //!< lookup latency in core cycles
+        unsigned mshrs = 16;
+        unsigned targetsPerMshr = 8;
+        unsigned queueSize = 16;     //!< input queue entries
+        unsigned width = 2;          //!< lookups per cycle
+        bool inclusiveRoot = false;  //!< back-invalidate children on evict
+    };
+
+    struct Stats
+    {
+        Counter demandHits;    //!< CPU demand only
+        Counter demandMisses;  //!< CPU demand only
+        Counter demandAccesses;
+        Counter dxHits;        //!< DX100-originated traffic
+        Counter dxMisses;
+        Counter mshrCoalesced;
+        Counter writebacks;
+        Counter evictions;
+        Counter backInvalidates;
+        Counter prefetchesIssued;
+        Counter prefetchesUseful; //!< demand hit on a prefetched line
+        Counter stallMshrFull;
+        Counter stallDownstream;
+    };
+
+    Cache(const Config &cfg, CachePort *downstream);
+
+    /** Attach a prefetcher (optional). */
+    void setPrefetcher(std::unique_ptr<Prefetcher> pf);
+
+    /** Register an upper-level cache for inclusive back-invalidation. */
+    void addChild(Cache *child) { children_.push_back(child); }
+
+    // CachePort (upstream-facing).
+    bool portCanAccept() const override;
+    void portRequest(const CacheReq &req) override;
+
+    // CacheRespSink (downstream fill responses).
+    void cacheResponse(std::uint64_t tag) override;
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** True if any request, MSHR or writeback is in flight. */
+    bool busy() const;
+
+    /** Snoop: line present (or being filled) at this level? */
+    bool containsLine(Addr line) const;
+
+    /** Tag-store residency only (no in-flight fills). */
+    bool tagsHold(Addr line) const;
+
+    /** Drop a line if present; returns true if it was dirty. */
+    bool invalidateLine(Addr line);
+
+    /**
+     * Pre-install a clean line (cache warm-up for regions that are
+     * architecturally resident when the region of interest begins).
+     */
+    void warmInsert(Addr line) { installLine(lineAlign(line), false,
+                                             false); }
+
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return cfg_; }
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
+
+    /** Render in-flight state (queues, MSHRs) for debugging. */
+    std::string debugDump() const;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Target
+    {
+        std::uint64_t tag;
+        CacheRespSink *sink;
+        bool write;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr line = 0;
+        bool dirtyOnFill = false;
+        bool prefetch = false;
+        std::vector<Target> targets;
+    };
+
+    struct Pending
+    {
+        CacheReq req;
+        Cycle readyAt;
+    };
+
+    unsigned setIndex(Addr line) const;
+    Way *lookup(Addr line);
+    int mshrFor(Addr line) const;
+    int freeMshr() const;
+
+    /** Install a line, evicting the victim; may queue a writeback. */
+    void installLine(Addr line, bool dirty, bool prefetched);
+
+    /** Process one queued request; false => stall, leave at head. */
+    bool processRequest(const CacheReq &req);
+
+    void issuePrefetches();
+    void drainWritebacks();
+
+    const Config cfg_;
+    CachePort *const downstream_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<Cache *> children_;
+
+    unsigned numSets_;
+    std::vector<std::vector<Way>> sets_;
+    std::vector<Mshr> mshrs_;
+    std::deque<Pending> queue_;
+    std::deque<Addr> writebacks_; //!< dirty victim lines awaiting drain
+
+    Cycle now_ = 0;
+    std::uint64_t useCounter_ = 0;
+    Stats stats_;
+};
+
+} // namespace dx::cache
+
+#endif // DX_CACHE_CACHE_HH

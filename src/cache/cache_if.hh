@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Request/response interfaces between cache levels and memory-side ports.
+ */
+
+#ifndef DX_CACHE_CACHE_IF_HH
+#define DX_CACHE_CACHE_IF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace dx::cache
+{
+
+/** Receives line-granularity completions from a cache or port. */
+class CacheRespSink
+{
+  public:
+    virtual ~CacheRespSink() = default;
+    virtual void cacheResponse(std::uint64_t tag) = 0;
+};
+
+/** One request into a cache level (or a memory-side port). */
+struct CacheReq
+{
+    Addr addr = 0;            //!< raw byte address
+    bool write = false;
+    bool fullLine = false;    //!< whole-line write: no fetch-on-miss
+    mem::Origin origin = mem::Origin::kCpuDemand;
+    std::uint16_t pc = 0;     //!< static instruction id (prefetch training)
+    std::uint64_t value = 0;  //!< loaded value (indirect-prefetch training)
+    std::uint64_t tag = 0;    //!< requester-defined cookie
+    CacheRespSink *sink = nullptr;
+};
+
+/** Anything a cache can send misses to (a lower cache, DRAM, DX100). */
+class CachePort
+{
+  public:
+    virtual ~CachePort() = default;
+    virtual bool portCanAccept() const = 0;
+
+    /**
+     * Request-specific admission: ports that multiplex resources by
+     * address (the DRAM adapter's per-channel queues) override this so
+     * one busy resource does not starve traffic headed elsewhere.
+     */
+    virtual bool
+    portCanAcceptReq(const CacheReq &req) const
+    {
+        (void)req;
+        return portCanAccept();
+    }
+
+    virtual void portRequest(const CacheReq &req) = 0;
+};
+
+} // namespace dx::cache
+
+#endif // DX_CACHE_CACHE_IF_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal simulator bugs (aborts), fatal() for user
+ * configuration errors (exit(1)), warn()/inform() for diagnostics.
+ */
+
+#ifndef DX_COMMON_LOGGING_HH
+#define DX_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace dx
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via a stringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: something happened that is a simulator bug. */
+#define dx_panic(...) \
+    ::dx::detail::panicImpl(__FILE__, __LINE__, \
+                            ::dx::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user asked for something unsupported. */
+#define dx_fatal(...) \
+    ::dx::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::dx::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning printed to stderr. */
+#define dx_warn(...) \
+    ::dx::detail::warnImpl(::dx::detail::concat(__VA_ARGS__))
+
+/** Informational message printed to stderr. */
+#define dx_inform(...) \
+    ::dx::detail::informImpl(::dx::detail::concat(__VA_ARGS__))
+
+/** Assert that is active in all build types (cheap checks only). */
+#define dx_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            dx_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace dx
+
+#endif // DX_COMMON_LOGGING_HH

@@ -1,0 +1,77 @@
+#include "common/sim_memory.hh"
+
+#include <algorithm>
+
+namespace dx
+{
+
+SimMemory::Frame &
+SimMemory::frameFor(Addr addr)
+{
+    const Addr key = addr >> kFrameShift;
+    auto it = frames_.find(key);
+    if (it == frames_.end()) {
+        it = frames_.emplace(key, Frame(kFrameBytes, 0)).first;
+    }
+    return it->second;
+}
+
+const SimMemory::Frame *
+SimMemory::frameForConst(Addr addr) const
+{
+    const Addr key = addr >> kFrameShift;
+    auto it = frames_.find(key);
+    return it == frames_.end() ? nullptr : &it->second;
+}
+
+void
+SimMemory::readBytes(Addr addr, void *dst, std::size_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const Addr off = addr & (kFrameBytes - 1);
+        const std::size_t chunk =
+            std::min<std::size_t>(len, kFrameBytes - off);
+        const Frame *f = frameForConst(addr);
+        if (f) {
+            std::memcpy(out, f->data() + off, chunk);
+        } else {
+            std::memset(out, 0, chunk);
+        }
+        out += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SimMemory::writeBytes(Addr addr, const void *src, std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const Addr off = addr & (kFrameBytes - 1);
+        const std::size_t chunk =
+            std::min<std::size_t>(len, kFrameBytes - off);
+        Frame &f = frameFor(addr);
+        std::memcpy(f.data() + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SimMemory::zero(Addr addr, std::size_t len)
+{
+    while (len > 0) {
+        const Addr off = addr & (kFrameBytes - 1);
+        const std::size_t chunk =
+            std::min<std::size_t>(len, kFrameBytes - off);
+        Frame &f = frameFor(addr);
+        std::memset(f.data() + off, 0, chunk);
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace dx

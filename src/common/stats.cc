@@ -1,0 +1,39 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx
+{
+
+double
+StatDump::get(const std::string &name) const
+{
+    for (const auto &[n, v] : entries_) {
+        if (n == name)
+            return v;
+    }
+    dx_panic("stat not found: ", name);
+}
+
+bool
+StatDump::has(const std::string &name) const
+{
+    for (const auto &[n, v] : entries_) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+StatDump::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[n, v] : entries_)
+        os << n << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace dx

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases and constants.
+ */
+
+#ifndef DX_COMMON_TYPES_HH
+#define DX_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dx
+{
+
+/** A (virtual == physical in this model) byte address. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in clock cycles of some domain. */
+using Cycle = std::uint64_t;
+
+/** Monotonic sequence number for micro-ops and requests. */
+using SeqNum = std::uint64_t;
+
+/** Cache line size in bytes, used uniformly by every level and DRAM. */
+constexpr unsigned kLineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr unsigned kLineShift = 6;
+
+/** Round an address down to its containing cache line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr{kLineBytes - 1};
+}
+
+/** Offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineBytes - 1));
+}
+
+/** An invalid / "no value" sentinel for sequence numbers. */
+constexpr SeqNum kNoSeq = ~SeqNum{0};
+
+} // namespace dx
+
+#endif // DX_COMMON_TYPES_HH

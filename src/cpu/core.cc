@@ -1,0 +1,396 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dx::cpu
+{
+
+namespace
+{
+
+/** Tag bit distinguishing post-commit store drains from ROB loads. */
+constexpr std::uint64_t kStoreTag = std::uint64_t{1} << 63;
+
+bool
+isHeadBlockedKind(OpKind k)
+{
+    return k == OpKind::kRmw || k == OpKind::kDxWait ||
+           k == OpKind::kFence;
+}
+
+bool
+isFencingKind(OpKind k)
+{
+    return k == OpKind::kRmw || k == OpKind::kFence;
+}
+
+} // namespace
+
+Core::Core(const Config &cfg, int id, cache::CachePort *l1)
+    : cfg_(cfg), id_(id), l1_(l1), rob_(cfg.robSize), wheel_(64)
+{
+    dx_assert(l1_, "core needs an L1 port");
+}
+
+Core::RobEntry &
+Core::entry(SeqNum seq)
+{
+    return rob_[seq % cfg_.robSize];
+}
+
+const Core::RobEntry &
+Core::entry(SeqNum seq) const
+{
+    return rob_[seq % cfg_.robSize];
+}
+
+bool
+Core::inRob(SeqNum seq) const
+{
+    return seq >= robHead_ && seq < robTail_;
+}
+
+bool
+Core::depSatisfied(SeqNum dep) const
+{
+    if (dep == kNoSeq || dep < robHead_)
+        return true;
+    dx_assert(dep < robTail_, "dependency on an undispatched op");
+    return entry(dep).state == EntryState::kComplete;
+}
+
+SeqNum
+Core::emit(const MicroOp &op)
+{
+    opBuffer_.push_back(op);
+    return nextSeq_++;
+}
+
+void
+Core::refillOpBuffer()
+{
+    const std::size_t low = 4 * cfg_.width;
+    while (kernel_ && kernel_->more() && opBuffer_.size() < low)
+        kernel_->emitChunk(*this);
+}
+
+void
+Core::dispatch()
+{
+    refillOpBuffer();
+
+    for (unsigned n = 0; n < cfg_.width; ++n) {
+        if (opBuffer_.empty())
+            return;
+        if (robTail_ - robHead_ >= cfg_.robSize) {
+            ++stats_.robStallCycles;
+            return;
+        }
+
+        const MicroOp &op = opBuffer_.front();
+        if (op.kind == OpKind::kLoad && lqUsed_ >= cfg_.lqSize) {
+            ++stats_.lqStallCycles;
+            return;
+        }
+        const bool needsSq = op.kind == OpKind::kStore ||
+                             op.kind == OpKind::kRmw ||
+                             op.kind == OpKind::kMmioStore;
+        if (needsSq && sqUsed_ >= cfg_.sqSize) {
+            ++stats_.sqStallCycles;
+            return;
+        }
+
+        const SeqNum seq = robTail_;
+        dx_assert(seq == bufferHeadSeq_, "seq bookkeeping mismatch");
+        RobEntry &e = entry(seq);
+        e.op = op;
+        e.state = EntryState::kWaiting;
+        e.depsLeft = 0;
+        e.dependents.clear();
+        e.headBlocked = isHeadBlockedKind(op.kind);
+
+        if (op.kind == OpKind::kLoad)
+            ++lqUsed_;
+        if (needsSq)
+            ++sqUsed_;
+        if (isFencingKind(op.kind))
+            fencing_.push_back(seq);
+
+        for (SeqNum dep : op.deps) {
+            if (dep == kNoSeq || depSatisfied(dep))
+                continue;
+            ++e.depsLeft;
+            entry(dep).dependents.push_back(seq);
+        }
+        if (e.depsLeft == 0) {
+            e.state = EntryState::kReady;
+            if (!e.headBlocked)
+                readyQueue_.push_back(seq);
+        }
+
+        opBuffer_.pop_front();
+        ++bufferHeadSeq_;
+        ++robTail_;
+    }
+}
+
+bool
+Core::fencePending(SeqNum seq) const
+{
+    return !fencing_.empty() && fencing_.front() < seq;
+}
+
+void
+Core::wakeDependents(RobEntry &e)
+{
+    for (SeqNum d : e.dependents) {
+        if (!inRob(d))
+            continue;
+        RobEntry &de = entry(d);
+        if (de.state != EntryState::kWaiting)
+            continue;
+        dx_assert(de.depsLeft > 0, "dependency underflow");
+        if (--de.depsLeft == 0) {
+            de.state = EntryState::kReady;
+            if (!de.headBlocked)
+                readyQueue_.push_back(d);
+        }
+    }
+    e.dependents.clear();
+}
+
+void
+Core::markComplete(SeqNum seq)
+{
+    RobEntry &e = entry(seq);
+    dx_assert(e.state != EntryState::kComplete, "double completion");
+    e.state = EntryState::kComplete;
+    wakeDependents(e);
+}
+
+void
+Core::cacheResponse(std::uint64_t tag)
+{
+    if (tag & kStoreTag) {
+        dx_assert(sqUsed_ > 0 && inflightStoreWrites_ > 0,
+                  "spurious store completion");
+        --sqUsed_;
+        --inflightStoreWrites_;
+        return;
+    }
+    markComplete(tag);
+}
+
+bool
+Core::issueMemOp(RobEntry &e, SeqNum seq)
+{
+    cache::CacheReq req;
+    req.addr = e.op.addr;
+    req.write = e.op.kind == OpKind::kRmw;
+    req.pc = e.op.pc;
+    req.value = e.op.value;
+    req.tag = seq;
+    req.sink = this;
+    if (!l1_->portCanAccept())
+        return false;
+    l1_->portRequest(req);
+    e.state = EntryState::kIssued;
+    return true;
+}
+
+void
+Core::issue()
+{
+    unsigned loadPortsUsed = 0;
+    unsigned issued = 0;
+
+    while (issued < cfg_.width && !readyQueue_.empty()) {
+        const SeqNum seq = readyQueue_.front();
+        if (!inRob(seq)) {
+            readyQueue_.pop_front();
+            continue;
+        }
+        RobEntry &e = entry(seq);
+        if (e.state != EntryState::kReady) {
+            readyQueue_.pop_front();
+            continue;
+        }
+
+        switch (e.op.kind) {
+          case OpKind::kIntAlu:
+          case OpKind::kFpAlu:
+          case OpKind::kStore:
+          case OpKind::kMmioStore: {
+            readyQueue_.pop_front();
+            e.state = EntryState::kIssued;
+            const unsigned lat = std::max<unsigned>(e.op.latency, 1);
+            wheel_[(wheelPos_ + lat) % wheel_.size()].push_back(seq);
+            ++issued;
+            break;
+          }
+          case OpKind::kLoad: {
+            if (fencePending(seq)) {
+                readyQueue_.pop_front();
+                fenceBlocked_.push_back(seq);
+                break;
+            }
+            if (loadPortsUsed >= cfg_.loadPorts)
+                return;
+            if (!issueMemOp(e, seq))
+                return; // L1 full: retry next cycle, keep order
+            readyQueue_.pop_front();
+            ++loadPortsUsed;
+            ++issued;
+            break;
+          }
+          default:
+            dx_panic("head-blocked op in ready queue");
+        }
+    }
+}
+
+void
+Core::commit()
+{
+    for (unsigned n = 0; n < cfg_.width; ++n) {
+        if (robHead_ == robTail_)
+            return;
+        RobEntry &e = entry(robHead_);
+
+        if (e.state != EntryState::kComplete && e.headBlocked) {
+            switch (e.op.kind) {
+              case OpKind::kRmw:
+                if (e.state == EntryState::kReady &&
+                    storeBuffer_.empty() && inflightStoreWrites_ == 0 &&
+                    mmioBuffer_.empty()) {
+                    if (issueMemOp(e, robHead_)) {
+                        // issued; completes via cacheResponse
+                    }
+                }
+                return;
+              case OpKind::kDxWait:
+                ++stats_.waitCycles;
+                if (now_ >= nextPollAt_) {
+                    nextPollAt_ = now_ + cfg_.pollInterval;
+                    stats_.committedOps += cfg_.pollInstrCost;
+                    dx_assert(mmio_, "kDxWait without an MMIO device");
+                    if (mmio_->mmioReady(e.op.value, id_))
+                        markComplete(robHead_);
+                }
+                return;
+              case OpKind::kFence:
+                if (e.state == EntryState::kReady &&
+                    storeBuffer_.empty() && inflightStoreWrites_ == 0 &&
+                    mmioBuffer_.empty()) {
+                    markComplete(robHead_);
+                }
+                return;
+              default:
+                dx_panic("unexpected head-blocked kind");
+            }
+        }
+
+        if (e.state != EntryState::kComplete)
+            return;
+
+        // Retire.
+        switch (e.op.kind) {
+          case OpKind::kLoad:
+            --lqUsed_;
+            ++stats_.committedLoads;
+            break;
+          case OpKind::kStore:
+            storeBuffer_.push_back(e.op);
+            ++stats_.committedStores;
+            break;
+          case OpKind::kMmioStore:
+            mmioBuffer_.push_back({now_ + cfg_.mmioLatency, e.op});
+            break;
+          case OpKind::kRmw:
+            --sqUsed_;
+            ++stats_.committedRmws;
+            break;
+          default:
+            break;
+        }
+
+        if (isFencingKind(e.op.kind)) {
+            dx_assert(!fencing_.empty() && fencing_.front() == robHead_,
+                      "fence bookkeeping mismatch");
+            fencing_.pop_front();
+            for (SeqNum s : fenceBlocked_)
+                readyQueue_.push_back(s);
+            fenceBlocked_.clear();
+        }
+
+        ++stats_.committedOps;
+        ++robHead_;
+    }
+}
+
+void
+Core::drainStores()
+{
+    for (unsigned n = 0; n < cfg_.storeDrain; ++n) {
+        if (storeBuffer_.empty() || !l1_->portCanAccept())
+            return;
+        const MicroOp &op = storeBuffer_.front();
+        cache::CacheReq req;
+        req.addr = op.addr;
+        req.write = true;
+        req.pc = op.pc;
+        req.tag = kStoreTag;
+        req.sink = this;
+        l1_->portRequest(req);
+        ++inflightStoreWrites_;
+        storeBuffer_.pop_front();
+    }
+}
+
+void
+Core::drainMmio()
+{
+    if (mmioBuffer_.empty() || mmioBuffer_.front().first > now_)
+        return;
+    const MicroOp op = mmioBuffer_.front().second;
+    mmioBuffer_.pop_front();
+    dx_assert(mmio_, "MMIO store without a device");
+    mmio_->mmioWrite(op.addr, op.value, id_);
+    dx_assert(sqUsed_ > 0, "MMIO SQ underflow");
+    --sqUsed_;
+}
+
+void
+Core::tick()
+{
+    ++now_;
+    ++stats_.cycles;
+    stats_.robOccupancyAccum += robTail_ - robHead_;
+    stats_.lqOccupancyAccum += lqUsed_;
+
+    // Complete fixed-latency ops scheduled for this cycle.
+    wheelPos_ = (wheelPos_ + 1) % static_cast<unsigned>(wheel_.size());
+    for (SeqNum seq : wheel_[wheelPos_]) {
+        if (inRob(seq) && entry(seq).state == EntryState::kIssued)
+            markComplete(seq);
+    }
+    wheel_[wheelPos_].clear();
+
+    commit();
+    issue();
+    dispatch();
+    drainStores();
+    drainMmio();
+}
+
+bool
+Core::done() const
+{
+    return (!kernel_ || !kernel_->more()) && opBuffer_.empty() &&
+           robHead_ == robTail_ && storeBuffer_.empty() &&
+           mmioBuffer_.empty() && inflightStoreWrites_ == 0;
+}
+
+} // namespace dx::cpu

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model.
+ *
+ * Models the structures that bound memory-level parallelism in the
+ * paper's baseline (Table 3): issue width, ROB, load and store queues,
+ * cache MSHRs (via the attached hierarchy), the dependence chains between
+ * index loads / address arithmetic / indirect accesses, and x86-style
+ * locked RMW semantics (issue at ROB head with drained store buffer,
+ * fencing younger memory ops). Fetch/decode details and branch
+ * prediction are intentionally not modeled; every committed micro-op
+ * counts as one instruction.
+ */
+
+#ifndef DX_CPU_CORE_HH
+#define DX_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/cache_if.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/microop.hh"
+#include "cpu/mmio.hh"
+
+namespace dx::cpu
+{
+
+class Core : public cache::CacheRespSink, public OpEmitter
+{
+  public:
+    struct Config
+    {
+        unsigned width = 8;        //!< dispatch/commit width
+        unsigned robSize = 224;
+        unsigned lqSize = 72;
+        unsigned sqSize = 56;
+        unsigned loadPorts = 2;    //!< loads issued to L1 per cycle
+        unsigned storeDrain = 1;   //!< post-commit stores to L1 per cycle
+        unsigned mmioLatency = 40; //!< core->device one-way, cycles
+        unsigned pollInterval = 60;  //!< wait-loop poll period
+        unsigned pollInstrCost = 3;  //!< spin-loop instructions per poll
+    };
+
+    struct Stats
+    {
+        Counter committedOps;
+        Counter committedLoads;
+        Counter committedStores;
+        Counter committedRmws;
+        Counter waitCycles;      //!< cycles stalled in kDxWait at head
+        Counter robStallCycles;  //!< dispatch blocked: ROB full
+        Counter lqStallCycles;
+        Counter sqStallCycles;
+        std::uint64_t lqOccupancyAccum = 0;
+        std::uint64_t robOccupancyAccum = 0;
+        std::uint64_t cycles = 0;
+    };
+
+    Core(const Config &cfg, int id, cache::CachePort *l1);
+
+    /** Attach the kernel supplying this core's op stream. */
+    void setKernel(Kernel *kernel) { kernel_ = kernel; }
+
+    /** Attach the MMIO device (DX100 instance) visible to this core. */
+    void setMmioDevice(MmioDevice *dev) { mmio_ = dev; }
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** Kernel exhausted and every buffer drained. */
+    bool done() const;
+
+    // OpEmitter: queue an op into the front-end buffer.
+    SeqNum emit(const MicroOp &op) override;
+
+    // CacheRespSink: load/store/RMW completions from L1.
+    void cacheResponse(std::uint64_t tag) override;
+
+    const Stats &stats() const { return stats_; }
+    int id() const { return id_; }
+
+  private:
+    enum class EntryState : std::uint8_t
+    {
+        kWaiting,   //!< dependencies outstanding
+        kReady,     //!< in the ready queue
+        kIssued,    //!< executing
+        kComplete,  //!< result available
+    };
+
+    struct RobEntry
+    {
+        MicroOp op;
+        EntryState state = EntryState::kWaiting;
+        unsigned depsLeft = 0;
+        std::vector<SeqNum> dependents;
+        bool headBlocked = false; //!< kRmw/kDxWait: wait for ROB head
+    };
+
+    // Pipeline stages, called in tick().
+    void refillOpBuffer();
+    void dispatch();
+    void issue();
+    void commit();
+    void drainStores();
+    void drainMmio();
+
+    RobEntry &entry(SeqNum seq);
+    const RobEntry &entry(SeqNum seq) const;
+    bool inRob(SeqNum seq) const;
+    bool depSatisfied(SeqNum dep) const;
+    void markComplete(SeqNum seq);
+    void wakeDependents(RobEntry &e);
+    bool issueMemOp(RobEntry &e, SeqNum seq);
+    bool fencePending(SeqNum seq) const;
+
+    const Config cfg_;
+    const int id_;
+    cache::CachePort *const l1_;
+    Kernel *kernel_ = nullptr;
+    MmioDevice *mmio_ = nullptr;
+
+    Cycle now_ = 0;
+
+    // Front-end buffer between the kernel and dispatch.
+    std::deque<MicroOp> opBuffer_;
+    SeqNum nextSeq_ = 1;     //!< seq of the next op to be *emitted*
+    SeqNum bufferHeadSeq_ = 1; //!< seq of opBuffer_.front()
+
+    // ROB ring: seq of the oldest in-flight op is robHead_.
+    std::vector<RobEntry> rob_;
+    SeqNum robHead_ = 1;
+    SeqNum robTail_ = 1; //!< seq the next dispatched op will get
+    unsigned lqUsed_ = 0;
+    unsigned sqUsed_ = 0;
+
+    std::deque<SeqNum> readyQueue_;
+    std::vector<SeqNum> fenceBlocked_; //!< mem ops held by an older fence
+
+    // Execution completion wheel for fixed-latency ALU ops.
+    std::vector<std::vector<SeqNum>> wheel_;
+    unsigned wheelPos_ = 0;
+
+    // In-flight fencing ops (kRmw/kFence), oldest first.
+    std::deque<SeqNum> fencing_;
+
+    // Post-commit L1 store writes awaiting completion (SQ slots held).
+    unsigned inflightStoreWrites_ = 0;
+
+    // Post-commit store drain: stores awaiting L1 acceptance. The SQ
+    // slot is released when the L1 write completes.
+    std::deque<MicroOp> storeBuffer_;
+    // Post-commit MMIO stores: delivered in order after mmioLatency.
+    std::deque<std::pair<Cycle, MicroOp>> mmioBuffer_;
+
+    Cycle nextPollAt_ = 0;
+
+    Stats stats_;
+};
+
+} // namespace dx::cpu
+
+#endif // DX_CPU_CORE_HH

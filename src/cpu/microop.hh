@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Micro-op definition and the kernel (op-stream) interface.
+ *
+ * Workload kernels execute *functionally* at op-generation time: they
+ * read and write SimMemory eagerly and emit a dependency-annotated
+ * micro-op stream that the timing core then executes. This keeps the
+ * timing model pure while indirect addresses remain exact (see
+ * DESIGN.md).
+ */
+
+#ifndef DX_CPU_MICROOP_HH
+#define DX_CPU_MICROOP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dx::cpu
+{
+
+enum class OpKind : std::uint8_t
+{
+    kIntAlu,    //!< integer ALU op (address calc, loop overhead)
+    kFpAlu,     //!< floating-point op
+    kLoad,      //!< cacheable load
+    kStore,     //!< cacheable store (drains post-commit)
+    kRmw,       //!< locked read-modify-write: issues at ROB head, fences
+    kMmioStore, //!< uncacheable store to a device (DX100 doorbell)
+    kDxWait,    //!< spin-wait until a device token reports ready
+    kFence,     //!< completes when all older memory ops are done
+};
+
+/** Maximum register-dependency fan-in of one micro-op. */
+constexpr unsigned kMaxDeps = 3;
+
+struct MicroOp
+{
+    OpKind kind = OpKind::kIntAlu;
+    std::uint8_t size = 0;       //!< access bytes for memory ops
+    std::uint8_t latency = 1;    //!< execution latency for ALU ops
+    std::uint16_t pc = 0;        //!< static instruction id (prefetchers)
+    Addr addr = 0;               //!< target address for memory/MMIO ops
+    std::uint64_t value = 0;     //!< loaded value / MMIO data / wait token
+    std::array<SeqNum, kMaxDeps> deps{kNoSeq, kNoSeq, kNoSeq};
+};
+
+/**
+ * Receives micro-ops from a kernel; returns the sequence number that
+ * later ops can name as a dependency.
+ */
+class OpEmitter
+{
+  public:
+    virtual ~OpEmitter() = default;
+    virtual SeqNum emit(const MicroOp &op) = 0;
+
+    // -- convenience builders ------------------------------------------
+
+    SeqNum
+    intOp(std::uint8_t latency = 1, SeqNum d0 = kNoSeq,
+          SeqNum d1 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kIntAlu;
+        op.latency = latency;
+        op.deps = {d0, d1, kNoSeq};
+        return emit(op);
+    }
+
+    SeqNum
+    fpOp(std::uint8_t latency = 4, SeqNum d0 = kNoSeq,
+         SeqNum d1 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kFpAlu;
+        op.latency = latency;
+        op.deps = {d0, d1, kNoSeq};
+        return emit(op);
+    }
+
+    SeqNum
+    load(Addr addr, std::uint8_t size, std::uint16_t pc,
+         std::uint64_t value = 0, SeqNum d0 = kNoSeq, SeqNum d1 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kLoad;
+        op.addr = addr;
+        op.size = size;
+        op.pc = pc;
+        op.value = value;
+        op.deps = {d0, d1, kNoSeq};
+        return emit(op);
+    }
+
+    SeqNum
+    store(Addr addr, std::uint8_t size, std::uint16_t pc,
+          SeqNum d0 = kNoSeq, SeqNum d1 = kNoSeq, SeqNum d2 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kStore;
+        op.addr = addr;
+        op.size = size;
+        op.pc = pc;
+        op.deps = {d0, d1, d2};
+        return emit(op);
+    }
+
+    SeqNum
+    rmw(Addr addr, std::uint8_t size, std::uint16_t pc,
+        SeqNum d0 = kNoSeq, SeqNum d1 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kRmw;
+        op.addr = addr;
+        op.size = size;
+        op.pc = pc;
+        op.deps = {d0, d1, kNoSeq};
+        return emit(op);
+    }
+
+    SeqNum
+    mmioStore(Addr addr, std::uint64_t data, SeqNum d0 = kNoSeq)
+    {
+        MicroOp op;
+        op.kind = OpKind::kMmioStore;
+        op.addr = addr;
+        op.size = 8;
+        op.value = data;
+        op.deps = {d0, kNoSeq, kNoSeq};
+        return emit(op);
+    }
+
+    SeqNum
+    dxWait(std::uint64_t token)
+    {
+        MicroOp op;
+        op.kind = OpKind::kDxWait;
+        op.value = token;
+        return emit(op);
+    }
+
+    SeqNum
+    fence()
+    {
+        MicroOp op;
+        op.kind = OpKind::kFence;
+        return emit(op);
+    }
+};
+
+/**
+ * A resumable stream of work for one core. emitChunk() is called when
+ * the core's op buffer runs low; it should emit roughly one loop
+ * iteration's worth of micro-ops per call.
+ */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** More micro-ops remain to be emitted? */
+    virtual bool more() const = 0;
+
+    /** Emit the next unit of work (at least one op when more()). */
+    virtual void emitChunk(OpEmitter &emitter) = 0;
+};
+
+} // namespace dx::cpu
+
+#endif // DX_CPU_MICROOP_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Interface for memory-mapped devices reachable from a core (DX100).
+ */
+
+#ifndef DX_CPU_MMIO_HH
+#define DX_CPU_MMIO_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dx::cpu
+{
+
+class MmioDevice
+{
+  public:
+    virtual ~MmioDevice() = default;
+
+    /** An uncacheable 64-bit store arriving at the device. */
+    virtual void mmioWrite(Addr addr, std::uint64_t data, int coreId) = 0;
+
+    /**
+     * Poll for a wait token (issued by the runtime alongside kDxWait
+     * micro-ops). True once the awaited work has retired.
+     */
+    virtual bool mmioReady(std::uint64_t token, int coreId) = 0;
+};
+
+} // namespace dx::cpu
+
+#endif // DX_CPU_MMIO_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DX100 configuration (paper Table 3 defaults).
+ */
+
+#ifndef DX_DX100_CONFIG_HH
+#define DX_DX100_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dx::dx100
+{
+
+struct Dx100Config
+{
+    unsigned numTiles = 32;
+    unsigned tileElems = 16 * 1024;
+    unsigned numRegs = 32;
+
+    unsigned fillRate = 16;         //!< indices into the Row Table / cycle
+    unsigned aluLanes = 16;
+    unsigned requestTableSize = 128; //!< stream-unit outstanding lines
+    unsigned rowsPerSlice = 64;    //!< BCAM entries per Row Table slice
+    unsigned colsPerRow = 8;       //!< SRAM column entries per row
+    unsigned respPerCycle = 16;     //!< column responses processed / cycle
+    unsigned rangeRate = 16;       //!< range-fuser elements / cycle
+    unsigned dispatchWindow = 8;   //!< out-of-order dispatch lookahead
+
+    unsigned spdReadLatency = 20;  //!< LLC-miss-to-SPD access latency
+    unsigned spdPortQueue = 64;
+
+    unsigned tlbEntries = 256;
+    unsigned tlbMissPenalty = 200; //!< cycles to fetch a PTE
+
+    /** Base of the memory-mapped doorbell/RF region (per instance). */
+    Addr mmioBase = Addr{0x10} << 32;
+    /** Base of the cacheable scratchpad data region (per instance). */
+    Addr spdBase = Addr{0x11} << 32;
+
+    /** SPD lane stride in bytes (each element occupies one u64 lane). */
+    static constexpr unsigned kSpdLane = 8;
+
+    Addr
+    spdAddr(unsigned tile, unsigned elem) const
+    {
+        return spdBase +
+               (static_cast<Addr>(tile) * tileElems + elem) * kSpdLane;
+    }
+
+    Addr spdSize() const
+    {
+        return static_cast<Addr>(numTiles) * tileElems * kSpdLane;
+    }
+
+    // MMIO layout within the doorbell region.
+    static constexpr Addr kDoorbellStride = 24; //!< 3 x 64b per core
+    Addr doorbellAddr(int core, unsigned word) const
+    {
+        return mmioBase + static_cast<Addr>(core) * kDoorbellStride +
+               word * 8;
+    }
+    Addr rfBase() const { return mmioBase + 0x1000; }
+    Addr rfAddr(unsigned reg) const { return rfBase() + reg * 8; }
+};
+
+} // namespace dx::dx100
+
+#endif // DX_DX100_CONFIG_HH

@@ -1,0 +1,835 @@
+#include "dx100/dx100.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "dx100/functional.hh"
+
+namespace dx::dx100
+{
+
+Dx100::Dx100(const Dx100Config &cfg, mem::DramSystem &dram,
+             cache::CachePort *llcPort, CoherencyAgent agent,
+             unsigned maxCores)
+    : cfg_(cfg), dram_(dram), llcPort_(llcPort), agent_(agent),
+      tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
+      doorbells_(maxCores), sideband_(maxCores),
+      regs_(cfg.numRegs, 0), tileReady_(cfg.numTiles, true),
+      tileProgress_(cfg.numTiles),
+      tables_({dram.geometry().totalBanks(), cfg.rowsPerSlice,
+               cfg.colsPerRow})
+{
+    retired_.push_back(true); // id 0 unused
+    streamSink_.owner = this;
+    llcSink_.owner = this;
+    spdPort_.owner = this;
+    const unsigned linesPerTile = cfg_.tileElems * Dx100Config::kSpdLane /
+                                  kLineBytes;
+    spdCached_.assign(cfg_.numTiles,
+                      std::vector<bool>(linesPerTile, false));
+    indirect_.rrPtr.assign(dram_.channels(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Sideband + MMIO
+// ---------------------------------------------------------------------
+
+std::uint64_t
+Dx100::registerPayload(int coreId, ExecPayload payload)
+{
+    dx_assert(static_cast<unsigned>(coreId) < sideband_.size(),
+              "core id out of range");
+    payload.id = nextId_++;
+    retired_.push_back(false);
+    const std::uint64_t id = payload.id;
+    sideband_[static_cast<unsigned>(coreId)].push_back(
+        std::move(payload));
+    return id;
+}
+
+void
+Dx100::registerRegion(Addr base, Addr size)
+{
+    tlb_.installRange(base, size);
+}
+
+void
+Dx100::mmioWrite(Addr addr, std::uint64_t data, int coreId)
+{
+    if (addr >= cfg_.rfBase() &&
+        addr < cfg_.rfBase() + cfg_.numRegs * 8) {
+        regs_[(addr - cfg_.rfBase()) / 8] = data;
+        return;
+    }
+
+    const Addr off = addr - cfg_.mmioBase;
+    const unsigned core = static_cast<unsigned>(
+        off / Dx100Config::kDoorbellStride);
+    const unsigned word = static_cast<unsigned>(
+        (off % Dx100Config::kDoorbellStride) / 8);
+    dx_assert(core < doorbells_.size(), "doorbell out of range");
+    dx_assert(static_cast<int>(core) == coreId,
+              "core wrote another core's doorbell");
+
+    Doorbell &db = doorbells_[core];
+    dx_assert(word == db.have, "doorbell words arrived out of order");
+    db.words[word] = data;
+    if (++db.have < 3)
+        return;
+    db.have = 0;
+
+    dx_assert(!sideband_[core].empty(),
+              "doorbell completed with no registered payload");
+    ExecPayload payload = std::move(sideband_[core].front());
+    sideband_[core].pop_front();
+
+    // The architectural bits must round-trip: the doorbell words are
+    // the actual encoding of the registered instruction.
+    const Instruction decoded = decode(db.words);
+    dx_assert(decoded == payload.instr,
+              "doorbell encoding does not match registered payload");
+
+    inputQueue_.push_back(std::move(payload));
+}
+
+bool
+Dx100::mmioReady(std::uint64_t token, int coreId)
+{
+    (void)coreId;
+    dx_assert(token < retired_.size(), "bogus wait token");
+    return retired_[token];
+}
+
+bool
+Dx100::tileReady(unsigned tile) const
+{
+    dx_assert(tile < tileReady_.size(), "tile out of range");
+    return tileReady_[tile];
+}
+
+// ---------------------------------------------------------------------
+// Scoreboard / dispatch
+// ---------------------------------------------------------------------
+
+Dx100::UnitKind
+Dx100::unitFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::kSld:
+      case Opcode::kSst:
+        return UnitKind::kStream;
+      case Opcode::kIld:
+      case Opcode::kIst:
+      case Opcode::kIrmw:
+        return UnitKind::kIndirect;
+      case Opcode::kAluv:
+      case Opcode::kAlus:
+        return UnitKind::kAlu;
+      case Opcode::kRng:
+        return UnitKind::kRange;
+    }
+    dx_panic("bad opcode");
+}
+
+std::uint64_t
+Dx100::tileMaskDest(const Instruction &i) const
+{
+    std::uint64_t m = 0;
+    if (i.td != kNoOperand)
+        m |= std::uint64_t{1} << i.td;
+    if (i.td2 != kNoOperand)
+        m |= std::uint64_t{1} << i.td2;
+    return m;
+}
+
+std::uint64_t
+Dx100::tileMaskSrc(const Instruction &i) const
+{
+    std::uint64_t m = 0;
+    if (i.ts1 != kNoOperand)
+        m |= std::uint64_t{1} << i.ts1;
+    if (i.ts2 != kNoOperand)
+        m |= std::uint64_t{1} << i.ts2;
+    if (i.tc != kNoOperand)
+        m |= std::uint64_t{1} << i.tc;
+    return m;
+}
+
+std::uint32_t
+Dx100::gateLimit(const Active &a)
+{
+    std::uint32_t limit = ~std::uint32_t{0};
+    for (const auto &g : a.srcGates) {
+        if (g)
+            limit = std::min(limit, g->prefix);
+    }
+    return limit;
+}
+
+void
+Dx100::tryDispatch()
+{
+    if (inputQueue_.empty())
+        return;
+
+    // Collect hazard masks of everything already executing.
+    std::uint64_t activeDest = 0;
+    std::uint64_t activeAny = 0;
+    auto addActive = [&](const Active &a) {
+        if (!a.valid)
+            return;
+        activeDest |= a.destMask;
+        activeAny |= a.destMask | a.srcMask;
+    };
+    addActive(stream_.active);
+    addActive(indirect_.active);
+    addActive(alu_.active);
+    addActive(range_.active);
+
+    // Out-of-order dispatch within a bounded window, preserving
+    // dependences against both executing and older queued instructions.
+    std::uint64_t olderDest = 0;
+    std::uint64_t olderAny = 0;
+    const std::size_t window =
+        std::min<std::size_t>(inputQueue_.size(), cfg_.dispatchWindow);
+    for (std::size_t i = 0; i < window; ++i) {
+        const ExecPayload &p = inputQueue_[i];
+        const std::uint64_t dest = tileMaskDest(p.instr);
+        const std::uint64_t src = tileMaskSrc(p.instr);
+        const UnitKind unit = unitFor(p.instr.op);
+
+        const bool unitFree =
+            (unit == UnitKind::kStream && !stream_.busy) ||
+            (unit == UnitKind::kIndirect && !indirect_.busy) ||
+            (unit == UnitKind::kAlu && !alu_.busy) ||
+            (unit == UnitKind::kRange && !range_.busy);
+
+        // WAW/WAR against anything in flight or older in the queue
+        // still blocks; RAW against an *executing* producer is allowed
+        // and gated element-wise on its finish-bit progress (§3.5).
+        const bool hazard =
+            (dest & (activeAny | olderAny)) != 0 ||
+            (src & olderDest) != 0;
+
+        // Cross-instance region coherence: stores/RMWs need write
+        // ownership of their target region (§6.6).
+        const bool needsRegion =
+            regionDir_ && (p.instr.op == Opcode::kIst ||
+                           p.instr.op == Opcode::kIrmw ||
+                           p.instr.op == Opcode::kSst);
+        if (unitFree && !hazard && needsRegion &&
+            !regionDir_->tryAcquireWrite(instanceId_, p.instr.base,
+                                         now_)) {
+            olderDest |= dest;
+            olderAny |= dest | src;
+            continue;
+        }
+
+        if (unitFree && !hazard) {
+            ExecPayload payload = std::move(inputQueue_[i]);
+            inputQueue_.erase(inputQueue_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            dispatchTo(unit, std::move(payload));
+            return;
+        }
+        olderDest |= dest;
+        olderAny |= dest | src;
+    }
+    ++stats_.dispatchStalls;
+}
+
+void
+Dx100::dispatchTo(UnitKind unit, ExecPayload &&payload)
+{
+    Active a;
+    a.valid = true;
+    a.destMask = tileMaskDest(payload.instr);
+    a.srcMask = tileMaskSrc(payload.instr);
+    a.payload = std::move(payload);
+
+    // Capture the finish-bit progress of still-executing producers of
+    // our source tiles, then publish fresh progress for our dests.
+    for (unsigned t = 0; t < cfg_.numTiles; ++t) {
+        const std::uint64_t bit = std::uint64_t{1} << t;
+        if ((a.srcMask & bit) && tileProgress_[t] &&
+            tileProgress_[t]->prefix < tileProgress_[t]->total) {
+            a.srcGates.push_back(tileProgress_[t]);
+        }
+    }
+    if (a.destMask) {
+        a.progress = std::make_shared<Progress>();
+        a.progress->total = a.payload.outCount;
+        for (unsigned t = 0; t < cfg_.numTiles; ++t) {
+            if (a.destMask & (std::uint64_t{1} << t))
+                tileProgress_[t] = a.progress;
+        }
+    }
+
+    // Ready bits drop for every tile the instruction touches, and any
+    // cached SPD lines of those tiles are invalidated (§3.6).
+    for (unsigned t = 0; t < cfg_.numTiles; ++t) {
+        if ((a.destMask | a.srcMask) & (std::uint64_t{1} << t)) {
+            tileReady_[t] = false;
+            invalidateTileLines(t);
+        }
+    }
+
+    switch (unit) {
+      case UnitKind::kStream:
+        stream_.busy = true;
+        stream_.active = std::move(a);
+        streamStart(stream_);
+        break;
+      case UnitKind::kIndirect:
+        indirect_.busy = true;
+        indirect_.active = std::move(a);
+        indirectStart(indirect_);
+        break;
+      case UnitKind::kAlu:
+        alu_.busy = true;
+        alu_.active = std::move(a);
+        alu_.processed = 0;
+        alu_.rate = cfg_.aluLanes;
+        break;
+      case UnitKind::kRange:
+        range_.busy = true;
+        range_.active = std::move(a);
+        range_.processed = 0;
+        range_.rate = cfg_.rangeRate;
+        break;
+    }
+}
+
+void
+Dx100::retire(UnitKind unit)
+{
+    Active *a = nullptr;
+    switch (unit) {
+      case UnitKind::kStream:
+        a = &stream_.active;
+        stream_.busy = false;
+        break;
+      case UnitKind::kIndirect:
+        a = &indirect_.active;
+        indirect_.busy = false;
+        break;
+      case UnitKind::kAlu:
+        a = &alu_.active;
+        alu_.busy = false;
+        break;
+      case UnitKind::kRange:
+        a = &range_.active;
+        range_.busy = false;
+        break;
+    }
+
+    if (a->progress)
+        a->progress->prefix = a->progress->total;
+    a->srcGates.clear();
+    for (unsigned t = 0; t < cfg_.numTiles; ++t) {
+        if ((a->destMask | a->srcMask) & (std::uint64_t{1} << t))
+            tileReady_[t] = true;
+    }
+    if (regionDir_ && (a->payload.instr.op == Opcode::kIst ||
+                       a->payload.instr.op == Opcode::kIrmw ||
+                       a->payload.instr.op == Opcode::kSst)) {
+        regionDir_->releaseWrite(instanceId_, a->payload.instr.base);
+    }
+    retired_[a->payload.id] = true;
+    ++stats_.instructionsRetired;
+    ++stats_.byOpcode[static_cast<unsigned>(a->payload.instr.op)];
+    a->valid = false;
+}
+
+void
+Dx100::invalidateTileLines(unsigned tile)
+{
+    auto &lines = spdCached_[tile];
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!lines[i])
+            continue;
+        lines[i] = false;
+        const Addr line = cfg_.spdBase +
+                          (static_cast<Addr>(tile) * lines.size() + i) *
+                              kLineBytes;
+        stats_.invalidations += agent_.invalidateLine(line);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream unit
+// ---------------------------------------------------------------------
+
+void
+Dx100::StreamSink::cacheResponse(std::uint64_t tag)
+{
+    (void)tag;
+    StreamUnit &u = owner->stream_;
+    dx_assert(u.outstanding > 0, "stray stream response");
+    --u.outstanding;
+    ++u.linesDone;
+    if (u.active.progress && !u.lines.empty()) {
+        // Responses return roughly in order: publish a linear prefix.
+        u.active.progress->prefix = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(u.active.progress->total) *
+            u.linesDone / u.lines.size());
+    }
+}
+
+void
+Dx100::streamStart(StreamUnit &u)
+{
+    const ExecPayload &p = u.active.payload;
+    const StreamScalars s = unpackStream(p.instr.imm);
+    const unsigned bytes = p.instr.elemBytes();
+    u.isStore = p.instr.op == Opcode::kSst;
+    u.lines.clear();
+    u.issuePos = 0;
+    u.outstanding = 0;
+    u.linesDone = 0;
+
+    Addr prevLine = ~Addr{0};
+    for (std::uint32_t i = 0; i < s.count; ++i) {
+        if (!p.cond.empty() && !p.cond[i])
+            continue;
+        const Addr addr =
+            p.instr.base +
+            (s.start + static_cast<std::int64_t>(i) * s.stride) * bytes;
+        const Addr line = lineAlign(addr);
+        if (line != prevLine) {
+            u.lines.push_back(line);
+            prevLine = line;
+        }
+    }
+}
+
+void
+Dx100::streamTick(StreamUnit &u)
+{
+    if (!u.busy)
+        return;
+
+    // Gate on still-executing producers of the data/condition tiles
+    // (finish bits): a store may only stream out elements that exist.
+    std::size_t allowedLines = u.lines.size();
+    const std::uint32_t limit = gateLimit(u.active);
+    if (limit != ~std::uint32_t{0} && u.active.payload.count > 0) {
+        allowedLines = std::min<std::size_t>(
+            allowedLines, static_cast<std::size_t>(
+                              static_cast<std::uint64_t>(
+                                  u.lines.size()) *
+                              limit / u.active.payload.count));
+    }
+
+    // Issue up to two line requests per cycle through the LLC.
+    for (unsigned n = 0; n < 2; ++n) {
+        if (u.issuePos >= allowedLines)
+            break;
+        if (u.outstanding >= cfg_.requestTableSize)
+            break;
+        if (!llcPort_ || !llcPort_->portCanAccept())
+            break;
+        cache::CacheReq req;
+        req.addr = u.lines[u.issuePos];
+        req.write = u.isStore;
+        req.fullLine = u.isStore;
+        req.origin = mem::Origin::kDx100;
+        req.tag = u.issuePos;
+        req.sink = &streamSink_;
+        llcPort_->portRequest(req);
+        if (u.isStore)
+            ++stats_.llcWrites;
+        else
+            ++stats_.llcReads;
+        ++u.outstanding;
+        ++u.issuePos;
+    }
+
+    if (u.issuePos >= u.lines.size() && u.outstanding == 0)
+        retire(UnitKind::kStream);
+}
+
+// ---------------------------------------------------------------------
+// Indirect unit
+// ---------------------------------------------------------------------
+
+void
+Dx100::LlcSink::cacheResponse(std::uint64_t tag)
+{
+    owner->indirect_.responses.push_back(
+        {static_cast<IndirectTables::ColHandle>(tag), true});
+    dx_assert(owner->indirect_.outstandingReads > 0,
+              "stray LLC indirect response");
+    --owner->indirect_.outstandingReads;
+}
+
+void
+Dx100::memResponse(const mem::MemRequest &req)
+{
+    dx_assert(!req.write, "unexpected DRAM write response");
+    indirect_.responses.push_back(
+        {static_cast<IndirectTables::ColHandle>(req.tag), false});
+    dx_assert(indirect_.outstandingReads > 0,
+              "stray DRAM indirect response");
+    --indirect_.outstandingReads;
+}
+
+void
+Dx100::indirectStart(IndirectUnit &u)
+{
+    const ExecPayload &p = u.active.payload;
+    u.n = p.count;
+    u.fillPos = 0;
+    u.fillBlocked = false;
+    u.tlbStall = 0;
+    u.wordsDone = 0;
+    u.skippedAtFill = 0;
+    u.lineOfHandle.clear();
+    u.responses.clear();
+    u.pendingWrites.clear();
+    u.outstandingReads = 0;
+    u.needsWriteback = p.instr.op != Opcode::kIld;
+    tables_.reset(u.n);
+}
+
+bool
+Dx100::indirectDone(const IndirectUnit &u) const
+{
+    return u.fillPos >= u.n && tables_.drained() &&
+           u.responses.empty() && u.pendingWrites.empty() &&
+           u.outstandingReads == 0;
+}
+
+void
+Dx100::indirectFill(IndirectUnit &u)
+{
+    if (u.tlbStall > 0) {
+        --u.tlbStall;
+        return;
+    }
+    u.fillBlocked = false;
+
+    const ExecPayload &p = u.active.payload;
+    const unsigned bytes = p.instr.elemBytes();
+    const mem::AddressMap &map = dram_.addressMap();
+    const mem::DramGeometry &geom = dram_.geometry();
+
+    // Finish-bit gating (§3.5): only consume source elements the
+    // producing instruction has already written. While gated, the
+    // request stage keeps draining so the fill latency hides behind
+    // the index load instead of serializing after it.
+    const std::uint32_t fillLimit =
+        std::min<std::uint32_t>(u.n, gateLimit(u.active));
+    u.fillGated = u.fillPos < u.n && u.fillPos >= fillLimit;
+
+    // Condition-false iterations are skipped by a cheap pre-scan of
+    // the condition tile (§3.2: the controller reads SPD[TC][i] and
+    // only triggers the address generator when it holds), so they
+    // drain four times faster than real inserts.
+    unsigned skipBudget = 4 * cfg_.fillRate;
+    for (unsigned k = 0; k < cfg_.fillRate && u.fillPos < fillLimit;
+         ++k) {
+        while (u.fillPos < fillLimit && !p.cond.empty() &&
+               !p.cond[u.fillPos] && skipBudget > 0) {
+            ++u.fillPos;
+            ++u.skippedAtFill;
+            --skipBudget;
+        }
+        if (u.fillPos >= fillLimit)
+            break;
+        const std::uint32_t i = u.fillPos;
+        if (!p.cond.empty() && !p.cond[i])
+            break; // skip budget exhausted for this cycle
+
+        const Addr addr = p.instr.base + p.src1[i] * bytes;
+        const unsigned penalty = tlb_.lookup(addr);
+        if (penalty > 0) {
+            u.tlbStall = penalty;
+            return;
+        }
+
+        const Addr line = lineAlign(addr);
+        const mem::DramCoord coord = map.decompose(line);
+        const unsigned slice = coord.flatBank(geom);
+        const auto wordOff =
+            static_cast<std::uint16_t>(lineOffset(addr) / 4);
+
+        const auto res =
+            tables_.insert(slice, coord.row, coord.column, wordOff, i);
+        if (res == IndirectTables::InsertResult::kSliceFull) {
+            u.fillBlocked = true;
+            ++stats_.fillStallCycles;
+            return;
+        }
+        if (res == IndirectTables::InsertResult::kNewColumn) {
+            const auto h = static_cast<IndirectTables::ColHandle>(
+                tables_.columnsAllocated() - 1);
+            if (u.lineOfHandle.size() <= h)
+                u.lineOfHandle.resize(h + 1);
+            u.lineOfHandle[h] = line;
+            // Snoop the coherence directory for the H bit.
+            tables_.setCacheHit(h, llcPort_ && agent_.hasHierarchy() &&
+                                       agent_.isCached(line));
+            ++stats_.indirectColumns;
+        }
+        ++stats_.indirectWords;
+        ++u.fillPos;
+    }
+}
+
+void
+Dx100::indirectRequests(IndirectUnit &u)
+{
+    // Draining starts once the tile is fully inserted or fill is stuck
+    // on a full slice (§3.2 Operation Stage 2). While fill merely paces
+    // a still-running producer (fillGated), requests are *not* issued:
+    // draining early would split the Word-Table coalescing chains, and
+    // when the chain is DRAM-bound the bandwidth floor dominates
+    // anyway — the §3.5 overlap value is in the hidden fill stage.
+    const bool draining = u.fillPos >= u.n || u.fillBlocked;
+    if (!draining)
+        return;
+
+    const mem::DramGeometry &geom = dram_.geometry();
+    const unsigned slicesPerChannel = geom.banksPerChannel();
+
+    for (unsigned ch = 0; ch < dram_.channels(); ++ch) {
+        // One request per channel per core cycle, walking this
+        // channel's slices round-robin so consecutive requests
+        // interleave bank groups.
+        unsigned &rr = u.rrPtr[ch];
+        for (unsigned probe = 0; probe < slicesPerChannel; ++probe) {
+            const unsigned sliceInCh = (rr + probe) % slicesPerChannel;
+            const unsigned slice = ch * slicesPerChannel + sliceInCh;
+            auto req = tables_.nextRequest(slice);
+            if (!req)
+                continue;
+
+            const Addr line = u.lineOfHandle[req->handle];
+            if (req->cacheHit) {
+                if (!llcPort_ || !llcPort_->portCanAccept()) {
+                    tables_.unsend(*req);
+                    break;
+                }
+                cache::CacheReq creq;
+                creq.addr = line;
+                creq.write = false;
+                creq.origin = mem::Origin::kDx100;
+                creq.tag = req->handle;
+                creq.sink = &llcSink_;
+                llcPort_->portRequest(creq);
+                ++stats_.llcReads;
+            } else {
+                if (!dram_.channel(ch).canAccept(false)) {
+                    tables_.unsend(*req);
+                    break;
+                }
+                dram_.access(line, false, mem::Origin::kDx100,
+                             req->handle, this);
+                ++stats_.dramReads;
+            }
+            ++u.outstandingReads;
+            rr = (sliceInCh + 1) % slicesPerChannel;
+            break;
+        }
+    }
+}
+
+void
+Dx100::indirectResponses(IndirectUnit &u)
+{
+    for (unsigned n = 0; n < cfg_.respPerCycle && !u.responses.empty();
+         ++n) {
+        const auto [handle, viaCache] = u.responses.front();
+        u.responses.pop_front();
+        const unsigned words = tables_.completeColumn(
+            handle, [&](std::uint32_t, std::uint16_t) {});
+        u.wordsDone += words;
+        if (u.active.progress && u.n > 0) {
+            // Columns complete out of order; the in-order finish-bit
+            // prefix grows roughly quadratically in the done fraction.
+            const std::uint64_t done = u.wordsDone + u.skippedAtFill;
+            u.active.progress->prefix = static_cast<std::uint32_t>(
+                done * done / u.n);
+        }
+        if (u.needsWriteback) {
+            u.pendingWrites.push_back(
+                {u.lineOfHandle[handle], viaCache});
+        }
+    }
+}
+
+void
+Dx100::indirectWrites(IndirectUnit &u)
+{
+    while (!u.pendingWrites.empty()) {
+        const auto [line, viaCache] = u.pendingWrites.front();
+        if (viaCache) {
+            if (!llcPort_ || !llcPort_->portCanAccept())
+                return;
+            cache::CacheReq creq;
+            creq.addr = line;
+            creq.write = true;
+            creq.origin = mem::Origin::kDx100;
+            creq.sink = nullptr;
+            llcPort_->portRequest(creq);
+            ++stats_.llcWrites;
+        } else {
+            if (!dram_.canAccept(line, true))
+                return;
+            dram_.access(line, true, mem::Origin::kDx100, 0, nullptr);
+            ++stats_.dramWrites;
+        }
+        u.pendingWrites.pop_front();
+    }
+}
+
+void
+Dx100::indirectTick(IndirectUnit &u)
+{
+    if (!u.busy)
+        return;
+    indirectResponses(u);
+    indirectWrites(u);
+    indirectRequests(u);
+    if (u.fillPos < u.n)
+        indirectFill(u);
+    if (indirectDone(u))
+        retire(UnitKind::kIndirect);
+}
+
+void
+Dx100::timedTick(TimedUnit &u, UnitKind kind)
+{
+    if (!u.busy)
+        return;
+    const std::uint32_t count = u.active.payload.count;
+    const std::uint32_t limit =
+        std::min<std::uint32_t>(count, gateLimit(u.active));
+    u.processed = std::min<std::uint64_t>(u.processed + u.rate, limit);
+
+    if (u.active.progress && count > 0) {
+        // In-order lanes: published output prefix tracks consumed
+        // input linearly (RNG expands count -> outCount).
+        u.active.progress->prefix = static_cast<std::uint32_t>(
+            u.processed * u.active.progress->total / count);
+    }
+    if (u.processed >= count)
+        retire(kind);
+}
+
+// ---------------------------------------------------------------------
+// Scratchpad port
+// ---------------------------------------------------------------------
+
+bool
+Dx100::SpdPort::portCanAccept() const
+{
+    return queue.size() < owner->cfg_.spdPortQueue;
+}
+
+void
+Dx100::SpdPort::portRequest(const cache::CacheReq &req)
+{
+    queue.push_back({owner->now_ + owner->cfg_.spdReadLatency, req});
+    if (!req.write)
+        owner->markSpdCached(req.addr);
+}
+
+unsigned
+Dx100::tileOfSpdAddr(Addr addr) const
+{
+    const Addr off = addr - cfg_.spdBase;
+    return static_cast<unsigned>(
+        off / (static_cast<Addr>(cfg_.tileElems) *
+               Dx100Config::kSpdLane));
+}
+
+void
+Dx100::markSpdCached(Addr addr)
+{
+    const unsigned tile = tileOfSpdAddr(addr);
+    if (tile >= cfg_.numTiles)
+        return;
+    const Addr tileBase = cfg_.spdBase +
+                          static_cast<Addr>(tile) * cfg_.tileElems *
+                              Dx100Config::kSpdLane;
+    const std::size_t lineIdx = (lineAlign(addr) - tileBase) /
+                                kLineBytes;
+    if (lineIdx < spdCached_[tile].size())
+        spdCached_[tile][lineIdx] = true;
+}
+
+void
+Dx100::spdTick()
+{
+    // Serve up to two SPD lines per cycle (the 4-ported scratchpad is
+    // not the bottleneck; the NoC link is).
+    for (unsigned n = 0; n < 2; ++n) {
+        if (spdPort_.queue.empty() ||
+            spdPort_.queue.front().first > now_) {
+            return;
+        }
+        const cache::CacheReq req = spdPort_.queue.front().second;
+        spdPort_.queue.pop_front();
+        ++stats_.spdLinesServed;
+        if (req.sink)
+            req.sink->cacheResponse(req.tag);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+void
+Dx100::tick()
+{
+    ++now_;
+    spdTick();
+    streamTick(stream_);
+    indirectTick(indirect_);
+
+    timedTick(alu_, UnitKind::kAlu);
+    timedTick(range_, UnitKind::kRange);
+
+    tryDispatch();
+}
+
+std::string
+Dx100::debugDump() const
+{
+    std::ostringstream os;
+    os << "dx100: inputQ=" << inputQueue_.size()
+       << " stream=" << (stream_.busy ? "busy" : "idle")
+       << "(issue=" << stream_.issuePos << "/" << stream_.lines.size()
+       << " out=" << stream_.outstanding << ")"
+       << " indirect=" << (indirect_.busy ? "busy" : "idle")
+       << "(fill=" << indirect_.fillPos << "/" << indirect_.n
+       << (indirect_.fillBlocked ? " blocked" : "")
+       << " resp=" << indirect_.responses.size()
+       << " wr=" << indirect_.pendingWrites.size()
+       << " outRd=" << indirect_.outstandingReads
+       << " drained=" << tables_.drained() << ")"
+       << " alu=" << (alu_.busy ? "busy" : "idle")
+       << " rng=" << (range_.busy ? "busy" : "idle")
+       << " spdQ=" << spdPort_.queue.size();
+    return os.str();
+}
+
+bool
+Dx100::idle() const
+{
+    if (!inputQueue_.empty() || stream_.busy || indirect_.busy ||
+        alu_.busy || range_.busy || !spdPort_.queue.empty()) {
+        return false;
+    }
+    for (const auto &sb : sideband_) {
+        if (!sb.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace dx::dx100

@@ -1,0 +1,332 @@
+#include "dx100/functional.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dx::dx100
+{
+
+std::uint64_t
+packStream(const StreamScalars &s)
+{
+    dx_assert(s.start < (std::uint64_t{1} << 32), "stream start too big");
+    dx_assert(s.count < (1u << 20), "stream count too big");
+    dx_assert(s.stride >= -(1 << 11) && s.stride < (1 << 11),
+              "stream stride out of range");
+    const std::uint64_t strideBits =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.stride)) &
+        0xfff;
+    return s.start | (std::uint64_t{s.count} << 32) | (strideBits << 52);
+}
+
+StreamScalars
+unpackStream(std::uint64_t imm)
+{
+    StreamScalars s;
+    s.start = imm & 0xffffffffULL;
+    s.count = static_cast<std::uint32_t>((imm >> 32) & 0xfffff);
+    std::uint32_t raw = static_cast<std::uint32_t>((imm >> 52) & 0xfff);
+    if (raw & 0x800)
+        raw |= 0xfffff000u; // sign-extend 12 bits
+    s.stride = static_cast<std::int32_t>(raw);
+    return s;
+}
+
+namespace
+{
+
+template <typename T>
+std::uint64_t
+aluTyped(AluOp op, std::uint64_t ar, std::uint64_t br)
+{
+    T a, b;
+    if constexpr (sizeof(T) == 4) {
+        const auto a32 = static_cast<std::uint32_t>(ar);
+        const auto b32 = static_cast<std::uint32_t>(br);
+        a = std::bit_cast<T>(a32);
+        b = std::bit_cast<T>(b32);
+    } else {
+        a = std::bit_cast<T>(ar);
+        b = std::bit_cast<T>(br);
+    }
+
+    auto wrap = [](T v) -> std::uint64_t {
+        if constexpr (sizeof(T) == 4) {
+            return static_cast<std::uint64_t>(
+                std::bit_cast<std::uint32_t>(v));
+        } else {
+            return std::bit_cast<std::uint64_t>(v);
+        }
+    };
+
+    switch (op) {
+      case AluOp::kAdd: return wrap(a + b);
+      case AluOp::kSub: return wrap(a - b);
+      case AluOp::kMul: return wrap(a * b);
+      case AluOp::kMin: return wrap(a < b ? a : b);
+      case AluOp::kMax: return wrap(a > b ? a : b);
+      case AluOp::kLt: return a < b ? 1 : 0;
+      case AluOp::kLe: return a <= b ? 1 : 0;
+      case AluOp::kGt: return a > b ? 1 : 0;
+      case AluOp::kGe: return a >= b ? 1 : 0;
+      case AluOp::kEq: return a == b ? 1 : 0;
+      default:
+        break;
+    }
+
+    if constexpr (std::is_integral_v<T>) {
+        switch (op) {
+          case AluOp::kAnd: return wrap(a & b);
+          case AluOp::kOr: return wrap(a | b);
+          case AluOp::kXor: return wrap(a ^ b);
+          case AluOp::kShr:
+            return wrap(static_cast<T>(a >> (b & (sizeof(T) * 8 - 1))));
+          case AluOp::kShl:
+            return wrap(static_cast<T>(a << (b & (sizeof(T) * 8 - 1))));
+          default:
+            break;
+        }
+    }
+    dx_panic("unsupported ALU op ", to_string(op), " for ",
+             std::is_integral_v<T> ? "integer" : "float", " type");
+}
+
+} // namespace
+
+std::uint64_t
+applyAluOp(AluOp op, DataType t, std::uint64_t a, std::uint64_t b)
+{
+    switch (t) {
+      case DataType::kU32: return aluTyped<std::uint32_t>(op, a, b);
+      case DataType::kI32: return aluTyped<std::int32_t>(op, a, b);
+      case DataType::kF32: return aluTyped<float>(op, a, b);
+      case DataType::kU64: return aluTyped<std::uint64_t>(op, a, b);
+      case DataType::kI64: return aluTyped<std::int64_t>(op, a, b);
+      case DataType::kF64: return aluTyped<double>(op, a, b);
+    }
+    dx_panic("bad data type");
+}
+
+Functional::Functional(SimMemory &mem, unsigned numTiles,
+                       unsigned tileElems, unsigned numRegs)
+    : mem_(mem), tileElems_(tileElems), tiles_(numTiles),
+      regs_(numRegs, 0)
+{
+    for (auto &t : tiles_)
+        t.data.assign(tileElems_, 0);
+}
+
+void
+Functional::writeReg(unsigned r, std::uint64_t v)
+{
+    dx_assert(r < regs_.size(), "register index out of range");
+    regs_[r] = v;
+}
+
+std::uint64_t
+Functional::reg(unsigned r) const
+{
+    dx_assert(r < regs_.size(), "register index out of range");
+    return regs_[r];
+}
+
+const Functional::Tile &
+Functional::tile(unsigned t) const
+{
+    dx_assert(t < tiles_.size(), "tile index out of range");
+    return tiles_[t];
+}
+
+Functional::Tile &
+Functional::tileRef(unsigned t)
+{
+    dx_assert(t < tiles_.size(), "tile index out of range");
+    return tiles_[t];
+}
+
+bool
+Functional::condAt(const Instruction &instr, std::uint32_t i) const
+{
+    if (instr.tc == kNoOperand)
+        return true;
+    const Tile &tc = tile(instr.tc);
+    dx_assert(i < tc.size, "condition tile shorter than iteration space");
+    return tc.data[i] != 0;
+}
+
+std::uint64_t
+Functional::loadElem(Addr addr, unsigned bytes) const
+{
+    return bytes == 4 ? mem_.read<std::uint32_t>(addr)
+                      : mem_.read<std::uint64_t>(addr);
+}
+
+void
+Functional::storeElem(Addr addr, unsigned bytes, std::uint64_t v)
+{
+    if (bytes == 4)
+        mem_.write<std::uint32_t>(addr, static_cast<std::uint32_t>(v));
+    else
+        mem_.write<std::uint64_t>(addr, v);
+}
+
+void
+Functional::execute(const Instruction &instr)
+{
+    switch (instr.op) {
+      case Opcode::kIld:
+      case Opcode::kIst:
+      case Opcode::kIrmw:
+        execIndirect(instr);
+        break;
+      case Opcode::kSld:
+      case Opcode::kSst:
+        execStream(instr);
+        break;
+      case Opcode::kAluv:
+      case Opcode::kAlus:
+        execAlu(instr);
+        break;
+      case Opcode::kRng:
+        execRange(instr);
+        break;
+    }
+}
+
+void
+Functional::execIndirect(const Instruction &instr)
+{
+    const unsigned bytes = instr.elemBytes();
+    const Tile &idx = tile(instr.ts1);
+    Tile *dst = instr.op == Opcode::kIld ? &tileRef(instr.td) : nullptr;
+    const Tile *src =
+        instr.op != Opcode::kIld ? &tile(instr.ts2) : nullptr;
+
+    if (instr.op == Opcode::kIrmw)
+        dx_assert(rmwSupported(instr.aluOp),
+                  "IRMW requires an associative/commutative op");
+
+    for (std::uint32_t i = 0; i < idx.size; ++i) {
+        if (!condAt(instr, i)) {
+            if (dst)
+                dst->data[i] = 0;
+            continue;
+        }
+        const Addr addr = instr.base + idx.data[i] * bytes;
+        switch (instr.op) {
+          case Opcode::kIld:
+            dst->data[i] = loadElem(addr, bytes);
+            break;
+          case Opcode::kIst:
+            storeElem(addr, bytes, src->data[i]);
+            break;
+          case Opcode::kIrmw: {
+            const std::uint64_t old = loadElem(addr, bytes);
+            storeElem(addr, bytes,
+                      applyAluOp(instr.aluOp, instr.dtype, old,
+                                 src->data[i]));
+            break;
+          }
+          default:
+            dx_panic("not an indirect op");
+        }
+    }
+    if (dst)
+        dst->size = idx.size;
+}
+
+void
+Functional::execStream(const Instruction &instr)
+{
+    const unsigned bytes = instr.elemBytes();
+    const StreamScalars s = unpackStream(instr.imm);
+    dx_assert(s.count <= tileElems_, "stream longer than a tile");
+
+    if (instr.op == Opcode::kSld) {
+        Tile &dst = tileRef(instr.td);
+        for (std::uint32_t i = 0; i < s.count; ++i) {
+            if (!condAt(instr, i)) {
+                dst.data[i] = 0;
+                continue;
+            }
+            const Addr addr =
+                instr.base +
+                (s.start + static_cast<std::int64_t>(i) * s.stride) *
+                    bytes;
+            dst.data[i] = loadElem(addr, bytes);
+        }
+        dst.size = s.count;
+    } else {
+        const Tile &src = tile(instr.ts1);
+        for (std::uint32_t i = 0; i < s.count; ++i) {
+            if (!condAt(instr, i))
+                continue;
+            const Addr addr =
+                instr.base +
+                (s.start + static_cast<std::int64_t>(i) * s.stride) *
+                    bytes;
+            storeElem(addr, bytes, src.data[i]);
+        }
+    }
+}
+
+void
+Functional::execAlu(const Instruction &instr)
+{
+    const Tile &a = tile(instr.ts1);
+    Tile &dst = tileRef(instr.td);
+    const bool vector = instr.op == Opcode::kAluv;
+    const Tile *b = vector ? &tile(instr.ts2) : nullptr;
+    const std::uint64_t scalar = vector ? 0 : reg(instr.rs1);
+
+    for (std::uint32_t i = 0; i < a.size; ++i) {
+        if (!condAt(instr, i)) {
+            dst.data[i] = 0;
+            continue;
+        }
+        const std::uint64_t rhs = vector ? b->data[i] : scalar;
+        dst.data[i] = applyAluOp(instr.aluOp, instr.dtype, a.data[i],
+                                 rhs);
+    }
+    dst.size = a.size;
+}
+
+void
+Functional::execRange(const Instruction &instr)
+{
+    const Tile &lo = tile(instr.ts1);
+    const Tile &hi = tile(instr.ts2);
+    dx_assert(lo.size == hi.size, "range boundary tiles differ in size");
+
+    Tile &outer = tileRef(instr.td);
+    Tile &inner = tileRef(instr.td2);
+    const std::uint32_t startRange =
+        static_cast<std::uint32_t>(instr.imm & 0xffffffffULL);
+
+    std::uint32_t out = 0;
+    std::uint32_t consumed = 0;
+    for (std::uint32_t i = startRange; i < lo.size; ++i) {
+        if (!condAt(instr, i)) {
+            ++consumed;
+            continue;
+        }
+        const std::uint64_t b = lo.data[i];
+        const std::uint64_t e = hi.data[i];
+        const std::uint64_t len = e > b ? e - b : 0;
+        if (out + len > tileElems_)
+            break; // output full: stop before this range
+        for (std::uint64_t j = b; j < e; ++j) {
+            outer.data[out] = i;
+            inner.data[out] = j;
+            ++out;
+        }
+        ++consumed;
+    }
+    outer.size = out;
+    inner.size = out;
+    if (instr.rs1 != kNoOperand)
+        writeReg(instr.rs1, consumed);
+}
+
+} // namespace dx::dx100

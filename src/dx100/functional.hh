@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Golden functional model of DX100.
+ *
+ * Executes instruction semantics against SimMemory and a scratchpad
+ * mirror. The runtime API uses one instance as its eager mirror (values
+ * are produced at emission time; see DESIGN.md), and tests validate the
+ * ISA against it directly.
+ */
+
+#ifndef DX_DX100_FUNCTIONAL_HH
+#define DX_DX100_FUNCTIONAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_memory.hh"
+#include "common/types.hh"
+#include "dx100/isa.hh"
+
+namespace dx::dx100
+{
+
+/** Scalar fields packed into the imm word of stream instructions. */
+struct StreamScalars
+{
+    std::uint64_t start = 0; //!< first element index (32 bits)
+    std::uint32_t count = 0; //!< elements to access (20 bits)
+    std::int32_t stride = 1; //!< element stride (signed 12 bits)
+};
+
+/** Pack stream scalars into imm (start:32 | count:20 | stride:12). */
+std::uint64_t packStream(const StreamScalars &s);
+
+/** Unpack stream scalars from imm. */
+StreamScalars unpackStream(std::uint64_t imm);
+
+/** Apply a (typed) ALU operation to two raw 64-bit lane values. */
+std::uint64_t applyAluOp(AluOp op, DataType t, std::uint64_t a,
+                         std::uint64_t b);
+
+class Functional
+{
+  public:
+    struct Tile
+    {
+        std::vector<std::uint64_t> data;
+        std::uint32_t size = 0;
+    };
+
+    Functional(SimMemory &mem, unsigned numTiles = 32,
+               unsigned tileElems = 16384, unsigned numRegs = 32);
+
+    void writeReg(unsigned r, std::uint64_t v);
+    std::uint64_t reg(unsigned r) const;
+
+    const Tile &tile(unsigned t) const;
+    Tile &tileRef(unsigned t);
+
+    unsigned tileElems() const { return tileElems_; }
+    unsigned numTiles() const { return static_cast<unsigned>(
+        tiles_.size()); }
+
+    /** Execute one instruction's semantics. */
+    void execute(const Instruction &instr);
+
+  private:
+    void execIndirect(const Instruction &instr);
+    void execStream(const Instruction &instr);
+    void execAlu(const Instruction &instr);
+    void execRange(const Instruction &instr);
+
+    /** Condition value for iteration i (true if no condition tile). */
+    bool condAt(const Instruction &instr, std::uint32_t i) const;
+
+    std::uint64_t loadElem(Addr addr, unsigned bytes) const;
+    void storeElem(Addr addr, unsigned bytes, std::uint64_t v);
+
+    SimMemory &mem_;
+    unsigned tileElems_;
+    std::vector<Tile> tiles_;
+    std::vector<std::uint64_t> regs_;
+};
+
+} // namespace dx::dx100
+
+#endif // DX_DX100_FUNCTIONAL_HH

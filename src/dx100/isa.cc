@@ -1,0 +1,150 @@
+#include "dx100/isa.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx::dx100
+{
+
+namespace
+{
+
+/** Pack a field into the low bits of a word being built. */
+void
+pack(std::uint64_t &word, unsigned &shift, std::uint64_t value,
+     unsigned bits)
+{
+    dx_assert(value < (std::uint64_t{1} << bits), "field overflow");
+    word |= value << shift;
+    shift += bits;
+}
+
+std::uint64_t
+unpack(std::uint64_t word, unsigned &shift, unsigned bits)
+{
+    const std::uint64_t v = (word >> shift) &
+                            ((std::uint64_t{1} << bits) - 1);
+    shift += bits;
+    return v;
+}
+
+} // namespace
+
+std::array<std::uint64_t, 3>
+encode(const Instruction &instr)
+{
+    std::uint64_t w0 = 0;
+    unsigned s = 0;
+    pack(w0, s, static_cast<std::uint64_t>(instr.op), 4);
+    pack(w0, s, static_cast<std::uint64_t>(instr.dtype), 3);
+    pack(w0, s, static_cast<std::uint64_t>(instr.aluOp), 5);
+    pack(w0, s, instr.td, 6);
+    pack(w0, s, instr.td2, 6);
+    pack(w0, s, instr.ts1, 6);
+    pack(w0, s, instr.ts2, 6);
+    pack(w0, s, instr.tc, 6);
+    pack(w0, s, instr.rs1, 6);
+    pack(w0, s, instr.rs2, 6);
+    pack(w0, s, instr.rs3, 6);
+    dx_assert(s <= 64, "word 0 overflow");
+    return {w0, instr.base, instr.imm};
+}
+
+Instruction
+decode(const std::array<std::uint64_t, 3> &words)
+{
+    Instruction instr;
+    unsigned s = 0;
+    const std::uint64_t w0 = words[0];
+    instr.op = static_cast<Opcode>(unpack(w0, s, 4));
+    instr.dtype = static_cast<DataType>(unpack(w0, s, 3));
+    instr.aluOp = static_cast<AluOp>(unpack(w0, s, 5));
+    instr.td = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.td2 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.ts1 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.ts2 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.tc = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.rs1 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.rs2 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.rs3 = static_cast<std::uint8_t>(unpack(w0, s, 6));
+    instr.base = words[1];
+    instr.imm = words[2];
+    return instr;
+}
+
+std::string
+to_string(Opcode op)
+{
+    switch (op) {
+      case Opcode::kIld: return "ILD";
+      case Opcode::kIst: return "IST";
+      case Opcode::kIrmw: return "IRMW";
+      case Opcode::kSld: return "SLD";
+      case Opcode::kSst: return "SST";
+      case Opcode::kAluv: return "ALUV";
+      case Opcode::kAlus: return "ALUS";
+      case Opcode::kRng: return "RNG";
+    }
+    return "?";
+}
+
+std::string
+to_string(DataType t)
+{
+    switch (t) {
+      case DataType::kU32: return "u32";
+      case DataType::kI32: return "i32";
+      case DataType::kF32: return "f32";
+      case DataType::kU64: return "u64";
+      case DataType::kI64: return "i64";
+      case DataType::kF64: return "f64";
+    }
+    return "?";
+}
+
+std::string
+to_string(AluOp op)
+{
+    switch (op) {
+      case AluOp::kNone: return "none";
+      case AluOp::kAdd: return "add";
+      case AluOp::kSub: return "sub";
+      case AluOp::kMul: return "mul";
+      case AluOp::kMin: return "min";
+      case AluOp::kMax: return "max";
+      case AluOp::kAnd: return "and";
+      case AluOp::kOr: return "or";
+      case AluOp::kXor: return "xor";
+      case AluOp::kShr: return "shr";
+      case AluOp::kShl: return "shl";
+      case AluOp::kLt: return "lt";
+      case AluOp::kLe: return "le";
+      case AluOp::kGt: return "gt";
+      case AluOp::kGe: return "ge";
+      case AluOp::kEq: return "eq";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << to_string(op) << "." << to_string(dtype);
+    if (aluOp != AluOp::kNone)
+        os << "." << to_string(aluOp);
+    auto tile = [&os](const char *name, std::uint8_t t) {
+        if (t != kNoOperand)
+            os << " " << name << t;
+    };
+    tile(" td", td);
+    tile(" td2", td2);
+    tile(" ts1", ts1);
+    tile(" ts2", ts2);
+    tile(" tc", tc);
+    os << " base=0x" << std::hex << base << std::dec << " imm=" << imm;
+    return os.str();
+}
+
+} // namespace dx::dx100

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The DX100 instruction set (paper Table 2).
+ *
+ * Eight instructions cover indirect accesses (ILD/IST/IRMW), streaming
+ * accesses (SLD/SST), tile ALU operations (ALUV/ALUS) and range-loop
+ * fusion (RNG). Instructions are 192 bits and are delivered to the
+ * accelerator as three 64-bit memory-mapped stores.
+ */
+
+#ifndef DX_DX100_ISA_HH
+#define DX_DX100_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dx::dx100
+{
+
+enum class Opcode : std::uint8_t
+{
+    kIld,  //!< indirect load:   TD[i]       = MEM[BASE + TS1[i]]
+    kIst,  //!< indirect store:  MEM[BASE + TS1[i]] = TS2[i]
+    kIrmw, //!< indirect RMW:    MEM[BASE + TS1[i]] op= TS2[i]
+    kSld,  //!< stream load:     TD[i]       = MEM[BASE + (s + i*k)]
+    kSst,  //!< stream store:    MEM[BASE + (s + i*k)] = TS1[i]
+    kAluv, //!< vector ALU:      TD[i] = TS1[i] op TS2[i]
+    kAlus, //!< scalar ALU:      TD[i] = TS1[i] op REG[RS1]
+    kRng,  //!< range fuse:      (TD1,TD2) += {(i, j) : TS1[i]<=j<TS2[i]}
+};
+
+enum class DataType : std::uint8_t
+{
+    kU32,
+    kI32,
+    kF32,
+    kU64,
+    kI64,
+    kF64,
+};
+
+/** Element size in bytes for a data type. */
+constexpr unsigned
+elemSize(DataType t)
+{
+    switch (t) {
+      case DataType::kU32:
+      case DataType::kI32:
+      case DataType::kF32:
+        return 4;
+      default:
+        return 8;
+    }
+}
+
+enum class AluOp : std::uint8_t
+{
+    kNone,
+    kAdd,
+    kSub,
+    kMul,
+    kMin,
+    kMax,
+    kAnd,
+    kOr,
+    kXor,
+    kShr,
+    kShl,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+};
+
+/** RMW supports only associative + commutative update operators. */
+constexpr bool
+rmwSupported(AluOp op)
+{
+    return op == AluOp::kAdd || op == AluOp::kMin || op == AluOp::kMax ||
+           op == AluOp::kAnd || op == AluOp::kOr || op == AluOp::kXor;
+}
+
+/** "No tile"/"no register" sentinel in the 6-bit operand fields. */
+constexpr std::uint8_t kNoOperand = 0x3f;
+
+/**
+ * One decoded DX100 instruction. The scalar operands used by the timing
+ * model (loop start/count/stride) are resolved register values captured
+ * at emission; the register *indices* live in rs fields for encoding
+ * fidelity.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kIld;
+    DataType dtype = DataType::kU32;
+    AluOp aluOp = AluOp::kNone;
+
+    std::uint8_t td = kNoOperand;   //!< destination tile
+    std::uint8_t td2 = kNoOperand;  //!< second destination (RNG)
+    std::uint8_t ts1 = kNoOperand;  //!< source tile 1 (index / data)
+    std::uint8_t ts2 = kNoOperand;  //!< source tile 2 (store data)
+    std::uint8_t tc = kNoOperand;   //!< condition tile
+    std::uint8_t rs1 = kNoOperand;  //!< scalar register operands
+    std::uint8_t rs2 = kNoOperand;
+    std::uint8_t rs3 = kNoOperand;
+
+    Addr base = 0;       //!< base address of the accessed array
+    std::uint64_t imm = 0; //!< packed scalars (see encode())
+
+    bool operator==(const Instruction &o) const = default;
+
+    unsigned elemBytes() const { return elemSize(dtype); }
+
+    /** Human-readable rendering for logs and tests. */
+    std::string toString() const;
+};
+
+/** Encode into the three 64-bit doorbell words. */
+std::array<std::uint64_t, 3> encode(const Instruction &instr);
+
+/** Decode from the three doorbell words. */
+Instruction decode(const std::array<std::uint64_t, 3> &words);
+
+std::string to_string(Opcode op);
+std::string to_string(DataType t);
+std::string to_string(AluOp op);
+
+} // namespace dx::dx100
+
+#endif // DX_DX100_ISA_HH

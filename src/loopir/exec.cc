@@ -1,0 +1,260 @@
+#include "loopir/exec.hh"
+
+#include "common/logging.hh"
+#include "dx100/functional.hh"
+#include "workloads/kernels.hh"
+
+namespace dx::loopir
+{
+
+namespace
+{
+
+std::uint64_t
+loadElem(SimMemory &mem, const Array &a, std::uint64_t idx)
+{
+    const Addr addr = a.base + idx * elemSize(a.type);
+    return elemSize(a.type) == 4 ? mem.read<std::uint32_t>(addr)
+                                 : mem.read<std::uint64_t>(addr);
+}
+
+void
+storeElem(SimMemory &mem, const Array &a, std::uint64_t idx,
+          std::uint64_t v)
+{
+    const Addr addr = a.base + idx * elemSize(a.type);
+    if (elemSize(a.type) == 4)
+        mem.write<std::uint32_t>(addr, static_cast<std::uint32_t>(v));
+    else
+        mem.write<std::uint64_t>(addr, v);
+}
+
+} // namespace
+
+std::uint64_t
+evalExpr(const Program &prog, const ExprPtr &e, std::uint64_t i,
+         SimMemory &mem)
+{
+    switch (e->kind) {
+      case Expr::Kind::kIndVar:
+        return i;
+      case Expr::Kind::kConst:
+        return e->constant;
+      case Expr::Kind::kRef: {
+        const std::uint64_t idx = evalExpr(prog, e->kids[0], i, mem);
+        return loadElem(mem, prog.arrays[static_cast<unsigned>(
+                                  e->array)], idx);
+      }
+      case Expr::Kind::kBin: {
+        const std::uint64_t a = evalExpr(prog, e->kids[0], i, mem);
+        const std::uint64_t b = evalExpr(prog, e->kids[1], i, mem);
+        return dx100::applyAluOp(e->op, DataType::kU64, a, b);
+      }
+    }
+    dx_panic("bad expression");
+}
+
+void
+interpret(const Program &prog, SimMemory &mem)
+{
+    for (std::uint64_t i = prog.lo; i < prog.hi; ++i) {
+        for (const auto &s : prog.body) {
+            if (s.cond && evalExpr(prog, s.cond, i, mem) == 0)
+                continue;
+            const std::uint64_t idx = evalExpr(prog, s.index, i, mem);
+            const std::uint64_t val = evalExpr(prog, s.value, i, mem);
+            const Array &a =
+                prog.arrays[static_cast<unsigned>(s.array)];
+            if (s.kind == Stmt::Kind::kStore) {
+                storeElem(mem, a, idx, val);
+            } else {
+                const std::uint64_t old = loadElem(mem, a, idx);
+                storeElem(mem, a, idx,
+                          dx100::applyAluOp(s.rmwOp, a.type, old,
+                                            val));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline kernel: emit the loop as micro-ops.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+class IrBaselineKernel : public wl::LoopKernel
+{
+  public:
+    IrBaselineKernel(const Program &prog, SimMemory &mem,
+                     std::uint64_t bg, std::uint64_t en)
+        : LoopKernel(bg, en), prog_(prog), mem_(mem)
+    {}
+
+  protected:
+    struct Val
+    {
+        SeqNum seq = kNoSeq;
+        std::uint64_t value = 0;
+    };
+
+    Val
+    emitExpr(cpu::OpEmitter &e, const ExprPtr &x, std::uint64_t i)
+    {
+        switch (x->kind) {
+          case Expr::Kind::kIndVar:
+            return {kNoSeq, i};
+          case Expr::Kind::kConst:
+            return {kNoSeq, x->constant};
+          case Expr::Kind::kRef: {
+            const Val idx = emitExpr(e, x->kids[0], i);
+            const Array &a =
+                prog_.arrays[static_cast<unsigned>(x->array)];
+            const SeqNum calc = e.intOp(1, idx.seq);
+            const Addr addr =
+                a.base + idx.value * elemSize(a.type);
+            const std::uint64_t v = loadElem(mem_, a, idx.value);
+            const SeqNum seq = e.load(
+                addr, static_cast<std::uint8_t>(elemSize(a.type)),
+                static_cast<std::uint16_t>(10 + x->array), v, calc);
+            return {seq, v};
+          }
+          case Expr::Kind::kBin: {
+            const Val a = emitExpr(e, x->kids[0], i);
+            const Val b = emitExpr(e, x->kids[1], i);
+            const SeqNum seq = e.intOp(1, a.seq, b.seq);
+            return {seq, dx100::applyAluOp(x->op, DataType::kU64,
+                                           a.value, b.value)};
+          }
+        }
+        dx_panic("bad expression");
+    }
+
+    void
+    emitIteration(cpu::OpEmitter &e, std::size_t i) override
+    {
+        for (const auto &s : prog_.body) {
+            if (s.cond) {
+                const Val c = emitExpr(e, s.cond, i);
+                e.intOp(1, c.seq); // branch
+                if (c.value == 0)
+                    continue;
+            }
+            const Val idx = emitExpr(e, s.index, i);
+            const Val val = emitExpr(e, s.value, i);
+            const Array &a =
+                prog_.arrays[static_cast<unsigned>(s.array)];
+            const Addr addr =
+                a.base + idx.value * elemSize(a.type);
+            if (s.kind == Stmt::Kind::kStore) {
+                storeElem(mem_, a, idx.value, val.value);
+                e.store(addr,
+                        static_cast<std::uint8_t>(elemSize(a.type)),
+                        3, idx.seq, val.seq);
+            } else {
+                const std::uint64_t old =
+                    loadElem(mem_, a, idx.value);
+                storeElem(mem_, a, idx.value,
+                          dx100::applyAluOp(s.rmwOp, a.type, old,
+                                            val.value));
+                e.rmw(addr,
+                      static_cast<std::uint8_t>(elemSize(a.type)), 3,
+                      idx.seq, val.seq);
+            }
+        }
+        e.intOp();
+    }
+
+  private:
+    const Program &prog_;
+    SimMemory &mem_;
+};
+
+} // namespace
+
+std::unique_ptr<cpu::Kernel>
+makeBaselineKernel(const Program &prog, SimMemory &mem,
+                   std::uint64_t begin, std::uint64_t end)
+{
+    return std::make_unique<IrBaselineKernel>(prog, mem, begin, end);
+}
+
+// ---------------------------------------------------------------------
+// DX100 kernel: run the compiled plan tile by tile.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<cpu::Kernel>
+makeDx100Kernel(const Program &prog, const TilePlan &plan,
+                runtime::Dx100Runtime &rt, int coreId,
+                std::uint64_t begin, std::uint64_t end)
+{
+    // Map virtual tiles to real scratchpad tiles (single-buffered).
+    auto tiles = std::make_shared<std::vector<unsigned>>();
+    for (unsigned t = 0; t < plan.tilesNeeded; ++t)
+        tiles->push_back(rt.allocTile());
+
+    auto planCopy = std::make_shared<TilePlan>(plan);
+    auto progArrays =
+        std::make_shared<std::vector<Array>>(prog.arrays);
+
+    auto emitTile = [&rt, coreId, tiles, planCopy, progArrays](
+                        cpu::OpEmitter &e, unsigned, std::size_t tb,
+                        std::uint32_t cnt) {
+        std::uint64_t token = 0;
+        auto real = [&](int vt) {
+            return vt < 0 ? runtime::Dx100Runtime::kNone
+                          : (*tiles)[static_cast<unsigned>(vt)];
+        };
+        for (const auto &op : planCopy->ops) {
+            const Array *a =
+                op.array >= 0
+                    ? &(*progArrays)[static_cast<unsigned>(op.array)]
+                    : nullptr;
+            switch (op.kind) {
+              case PackedOp::Kind::kSld:
+                token = rt.sld(e, coreId, op.dtype, a->base,
+                               real(op.dst), tb, cnt, 1,
+                               real(op.cond));
+                break;
+              case PackedOp::Kind::kIld:
+                token = rt.ild(e, coreId, op.dtype, a->base,
+                               real(op.dst), real(op.src1),
+                               real(op.cond));
+                break;
+              case PackedOp::Kind::kAluS:
+                token = rt.alus(e, coreId, op.dtype, op.op,
+                                real(op.dst), real(op.src1),
+                                op.scalar, real(op.cond));
+                break;
+              case PackedOp::Kind::kAluV:
+                token = rt.aluv(e, coreId, op.dtype, op.op,
+                                real(op.dst), real(op.src1),
+                                real(op.src2), real(op.cond));
+                break;
+              case PackedOp::Kind::kIst:
+                token = rt.ist(e, coreId, op.dtype, a->base,
+                               real(op.src1), real(op.src2),
+                               real(op.cond));
+                break;
+              case PackedOp::Kind::kIrmw:
+                token = rt.irmw(e, coreId, op.dtype, op.op, a->base,
+                                real(op.src1), real(op.src2),
+                                real(op.cond));
+                break;
+              case PackedOp::Kind::kSst:
+                token = rt.sst(e, coreId, op.dtype, a->base,
+                               real(op.src1), tb, cnt, 1,
+                               real(op.cond));
+                break;
+            }
+        }
+        return token;
+    };
+
+    return std::make_unique<wl::TiledDxKernel>(
+        rt, begin, end, rt.tileElems(), emitTile,
+        wl::TiledDxKernel::ConsumeTileFn{}, /*buffers=*/1);
+}
+
+} // namespace dx::loopir

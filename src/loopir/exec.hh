@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Executors for loop-IR programs:
+ *  - interpret(): golden semantics straight on SimMemory;
+ *  - makeBaselineKernel(): emit the loop as a core micro-op stream
+ *    (what the unmodified program would execute);
+ *  - makeDx100Kernel(): drive the generated packed-op plan through the
+ *    DX100 runtime — the output of the compiler pipeline, runnable on
+ *    the simulated system.
+ */
+
+#ifndef DX_LOOPIR_EXEC_HH
+#define DX_LOOPIR_EXEC_HH
+
+#include <memory>
+
+#include "common/sim_memory.hh"
+#include "cpu/microop.hh"
+#include "loopir/passes.hh"
+#include "runtime/dx100_api.hh"
+
+namespace dx::loopir
+{
+
+/** Execute the program's semantics directly (reference). */
+void interpret(const Program &prog, SimMemory &mem);
+
+/** Evaluate one expression at iteration @p i (used by tests). */
+std::uint64_t evalExpr(const Program &prog, const ExprPtr &e,
+                       std::uint64_t i, SimMemory &mem);
+
+/** Core micro-op stream for [begin, end) of the loop. */
+std::unique_ptr<cpu::Kernel>
+makeBaselineKernel(const Program &prog, SimMemory &mem,
+                   std::uint64_t begin, std::uint64_t end);
+
+/** DX100 kernel executing the compiled plan for [begin, end). */
+std::unique_ptr<cpu::Kernel>
+makeDx100Kernel(const Program &prog, const TilePlan &plan,
+                runtime::Dx100Runtime &rt, int coreId,
+                std::uint64_t begin, std::uint64_t end);
+
+} // namespace dx::loopir
+
+#endif // DX_LOOPIR_EXEC_HH

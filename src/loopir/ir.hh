@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A miniature loop-level IR standing in for the paper's MLIR/Polygeist
+ * pipeline (§4.2).
+ *
+ * Programs are single parallel loops over [lo, hi) whose statements
+ * store (or read-modify-write) an expression into an array element,
+ * optionally guarded by a condition. Expressions combine the induction
+ * variable, constants, array references (arbitrary nesting = arbitrary
+ * indirection depth) and binary ALU ops — exactly the pattern family
+ * of paper Table 1.
+ */
+
+#ifndef DX_LOOPIR_IR_HH
+#define DX_LOOPIR_IR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dx100/isa.hh"
+
+namespace dx::loopir
+{
+
+using dx100::AluOp;
+using dx100::DataType;
+
+/** An array known to the program (name, simulated base, type). */
+struct Array
+{
+    std::string name;
+    Addr base = 0;
+    DataType type = DataType::kU32;
+    std::size_t size = 0;
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr
+{
+    enum class Kind
+    {
+        kIndVar, //!< the loop induction variable i
+        kConst,  //!< integer constant
+        kRef,    //!< array[index] — kids[0] is the index expression
+        kBin,    //!< kids[0] op kids[1]
+    };
+
+    Kind kind = Kind::kIndVar;
+    int array = -1;              //!< kRef: index into Program::arrays
+    std::uint64_t constant = 0;  //!< kConst
+    AluOp op = AluOp::kNone;     //!< kBin
+    std::vector<ExprPtr> kids;
+
+    // -- factory helpers -------------------------------------------------
+
+    static ExprPtr
+    indVar()
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = Kind::kIndVar;
+        return e;
+    }
+
+    static ExprPtr
+    cnst(std::uint64_t v)
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = Kind::kConst;
+        e->constant = v;
+        return e;
+    }
+
+    static ExprPtr
+    ref(int array, ExprPtr index)
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = Kind::kRef;
+        e->array = array;
+        e->kids.push_back(std::move(index));
+        return e;
+    }
+
+    static ExprPtr
+    bin(AluOp op, ExprPtr a, ExprPtr b)
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = Kind::kBin;
+        e->op = op;
+        e->kids.push_back(std::move(a));
+        e->kids.push_back(std::move(b));
+        return e;
+    }
+};
+
+/** target[index] = value  |  target[index] op= value, guarded by cond. */
+struct Stmt
+{
+    enum class Kind
+    {
+        kStore,
+        kRmw,
+    };
+
+    Kind kind = Kind::kStore;
+    int array = -1;
+    ExprPtr index;
+    ExprPtr value;
+    ExprPtr cond;            //!< may be null (unconditional)
+    AluOp rmwOp = AluOp::kAdd;
+};
+
+struct Program
+{
+    std::vector<Array> arrays;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::vector<Stmt> body;
+
+    int
+    addArray(std::string name, Addr base, DataType type,
+             std::size_t size)
+    {
+        arrays.push_back({std::move(name), base, type, size});
+        return static_cast<int>(arrays.size()) - 1;
+    }
+};
+
+} // namespace dx::loopir
+
+#endif // DX_LOOPIR_IR_HH

@@ -1,0 +1,330 @@
+#include "loopir/passes.hh"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx::loopir
+{
+
+RefAnalysis
+analyzeExpr(const ExprPtr &e)
+{
+    RefAnalysis out;
+    if (!e)
+        return out;
+    switch (e->kind) {
+      case Expr::Kind::kIndVar:
+        out.usesIndVar = true;
+        out.affine = true;
+        return out;
+      case Expr::Kind::kConst:
+        return out;
+      case Expr::Kind::kRef: {
+        const RefAnalysis idx = analyzeExpr(e->kids[0]);
+        out.usesIndVar = idx.usesIndVar;
+        out.indirectionDepth = idx.indirectionDepth + 1;
+        out.affine = false;
+        return out;
+      }
+      case Expr::Kind::kBin: {
+        const RefAnalysis a = analyzeExpr(e->kids[0]);
+        const RefAnalysis b = analyzeExpr(e->kids[1]);
+        out.usesIndVar = a.usesIndVar || b.usesIndVar;
+        out.indirectionDepth =
+            std::max(a.indirectionDepth, b.indirectionDepth);
+        out.affine = false;
+        return out;
+      }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Collect every array id loaded anywhere in an expression. */
+void
+collectLoads(const ExprPtr &e, std::set<int> &loads)
+{
+    if (!e)
+        return;
+    if (e->kind == Expr::Kind::kRef)
+        loads.insert(e->array);
+    for (const auto &k : e->kids)
+        collectLoads(k, loads);
+}
+
+} // namespace
+
+Legality
+checkLegality(const Program &prog)
+{
+    // Arrays loaded anywhere in the loop body.
+    std::set<int> loads;
+    for (const auto &s : prog.body) {
+        collectLoads(s.index, loads);
+        collectLoads(s.value, loads);
+        collectLoads(s.cond, loads);
+    }
+
+    for (const auto &s : prog.body) {
+        // A store target that is also loaded may alias across
+        // iterations (e.g. the Gauss-Seidel case in §4.2): hoisting
+        // the loads would observe stale data.
+        if (loads.count(s.array)) {
+            return {false,
+                    "array '" + prog.arrays[s.array].name +
+                        "' is both loaded and stored in the loop"};
+        }
+        if (s.kind == Stmt::Kind::kRmw &&
+            !dx100::rmwSupported(s.rmwOp)) {
+            return {false, "RMW operator is not associative/"
+                           "commutative"};
+        }
+        const RefAnalysis idx = analyzeExpr(s.index);
+        if (!idx.usesIndVar) {
+            return {false, "store index does not depend on the "
+                           "induction variable (loop-carried "
+                           "output dependence)"};
+        }
+    }
+    return {true, ""};
+}
+
+std::string
+PackedOp::toString(const Program &prog) const
+{
+    auto arr = [&](int a) {
+        return a >= 0 ? prog.arrays[static_cast<unsigned>(a)].name
+                      : std::string("?");
+    };
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::kSld:
+        os << "t" << dst << " = SLD " << arr(array) << "[tile]";
+        break;
+      case Kind::kIld:
+        os << "t" << dst << " = ILD " << arr(array) << "[t" << src1
+           << "]";
+        break;
+      case Kind::kAluS:
+        os << "t" << dst << " = ALUS." << to_string(op) << " t" << src1
+           << ", #" << scalar;
+        break;
+      case Kind::kAluV:
+        os << "t" << dst << " = ALUV." << to_string(op) << " t" << src1
+           << ", t" << src2;
+        break;
+      case Kind::kIst:
+        os << "IST " << arr(array) << "[t" << src1 << "] = t" << src2;
+        break;
+      case Kind::kIrmw:
+        os << "IRMW." << to_string(op) << " " << arr(array) << "[t"
+           << src1 << "] += t" << src2;
+        break;
+      case Kind::kSst:
+        os << "SST " << arr(array) << "[tile] = t" << src1;
+        break;
+    }
+    if (cond >= 0)
+        os << " if t" << cond;
+    return os.str();
+}
+
+namespace
+{
+
+/** Expression -> virtual tile compiler. */
+class ExprCompiler
+{
+  public:
+    explicit ExprCompiler(const Program &prog) : prog_(prog) {}
+
+    /** Compile e; returns the virtual tile holding its lane values,
+     *  or -1 with a reason on unsupported shapes. */
+    int
+    compile(const ExprPtr &e, std::string &reason)
+    {
+        switch (e->kind) {
+          case Expr::Kind::kIndVar:
+            reason = "bare induction variable as a value is not "
+                     "supported (no iota unit)";
+            return -1;
+          case Expr::Kind::kConst:
+            reason = "bare constant as a value is not supported "
+                     "(fold it into a binary op)";
+            return -1;
+          case Expr::Kind::kRef:
+            return compileRef(e, reason);
+          case Expr::Kind::kBin:
+            return compileBin(e, reason);
+        }
+        reason = "unknown expression";
+        return -1;
+    }
+
+    /**
+     * Compile a reference's *index* for a store/RMW/load: affine
+     * indices need no tile (they become stream ops); otherwise the
+     * index is materialized into a tile.
+     */
+    std::optional<int>
+    compileIndex(const ExprPtr &index, std::string &reason)
+    {
+        const RefAnalysis a = analyzeExpr(index);
+        if (a.affine)
+            return std::nullopt; // stream form
+        const int t = compile(index, reason);
+        if (t < 0)
+            return std::make_optional(-1);
+        return t;
+    }
+
+    std::vector<PackedOp> ops;
+    int nextTile = 0;
+
+  private:
+    int
+    compileRef(const ExprPtr &e, std::string &reason)
+    {
+        const ExprPtr &index = e->kids[0];
+        const RefAnalysis ia = analyzeExpr(index);
+        PackedOp op;
+        op.array = e->array;
+        op.dtype = prog_.arrays[static_cast<unsigned>(e->array)].type;
+        if (ia.affine) {
+            op.kind = PackedOp::Kind::kSld;
+        } else {
+            const int idxTile = compile(index, reason);
+            if (idxTile < 0)
+                return -1;
+            op.kind = PackedOp::Kind::kIld;
+            op.src1 = idxTile;
+        }
+        op.dst = nextTile++;
+        ops.push_back(op);
+        return op.dst;
+    }
+
+    int
+    compileBin(const ExprPtr &e, std::string &reason)
+    {
+        const ExprPtr &a = e->kids[0];
+        const ExprPtr &b = e->kids[1];
+
+        // Tile op scalar.
+        if (b->kind == Expr::Kind::kConst) {
+            const int src = compile(a, reason);
+            if (src < 0)
+                return -1;
+            PackedOp op;
+            op.kind = PackedOp::Kind::kAluS;
+            op.op = e->op;
+            op.src1 = src;
+            op.scalar = b->constant;
+            op.dst = nextTile++;
+            op.dtype = DataType::kU64;
+            ops.push_back(op);
+            return op.dst;
+        }
+
+        const int sa = compile(a, reason);
+        if (sa < 0)
+            return -1;
+        const int sb = compile(b, reason);
+        if (sb < 0)
+            return -1;
+        PackedOp op;
+        op.kind = PackedOp::Kind::kAluV;
+        op.op = e->op;
+        op.src1 = sa;
+        op.src2 = sb;
+        op.dst = nextTile++;
+        op.dtype = DataType::kU64;
+        ops.push_back(op);
+        return op.dst;
+    }
+
+    const Program &prog_;
+};
+
+} // namespace
+
+CodegenResult
+lowerToDx100(const Program &prog)
+{
+    CodegenResult out;
+    const Legality legal = checkLegality(prog);
+    if (!legal.ok) {
+        out.reason = legal.reason;
+        return out;
+    }
+
+    ExprCompiler cc(prog);
+    for (const auto &s : prog.body) {
+        std::string reason;
+
+        int condTile = -1;
+        if (s.cond) {
+            condTile = cc.compile(s.cond, reason);
+            if (condTile < 0) {
+                out.reason = "condition: " + reason;
+                return out;
+            }
+        }
+
+        const int valTile = cc.compile(s.value, reason);
+        if (valTile < 0) {
+            out.reason = "value: " + reason;
+            return out;
+        }
+
+        const auto idxTile = cc.compileIndex(s.index, reason);
+        if (idxTile && *idxTile < 0) {
+            out.reason = "index: " + reason;
+            return out;
+        }
+
+        PackedOp op;
+        op.array = s.array;
+        op.dtype = prog.arrays[static_cast<unsigned>(s.array)].type;
+        op.cond = condTile;
+        if (!idxTile) {
+            // Affine store index -> streaming store.
+            dx_assert(s.kind == Stmt::Kind::kStore,
+                      "affine RMW should be a plain loop on the core");
+            op.kind = PackedOp::Kind::kSst;
+            op.src1 = valTile;
+        } else if (s.kind == Stmt::Kind::kStore) {
+            op.kind = PackedOp::Kind::kIst;
+            op.src1 = *idxTile;
+            op.src2 = valTile;
+        } else {
+            op.kind = PackedOp::Kind::kIrmw;
+            op.op = s.rmwOp;
+            op.src1 = *idxTile;
+            op.src2 = valTile;
+        }
+        cc.ops.push_back(op);
+    }
+
+    out.ok = true;
+    out.plan.ops = std::move(cc.ops);
+    out.plan.tilesNeeded = static_cast<unsigned>(cc.nextTile);
+    return out;
+}
+
+std::string
+planToString(const Program &prog, const TilePlan &plan)
+{
+    std::ostringstream os;
+    os << "for each tile of [" << prog.lo << ", " << prog.hi << "):\n";
+    for (const auto &op : plan.ops)
+        os << "  " << op.toString(prog) << "\n";
+    return os.str();
+}
+
+} // namespace dx::loopir

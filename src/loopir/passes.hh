@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Compiler passes over the loop IR (paper §4.2):
+ *
+ *  - analysis: use-def DFS classifying references as streaming /
+ *    indirect and computing the indirection depth;
+ *  - legality: hoisting/sinking is legal only if no statement stores
+ *    to an array the loop also loads from (alias check), and RMW
+ *    update operators are associative + commutative;
+ *  - tiling + code generation: lower the loop body into per-tile
+ *    packed operations (the DX100 API sequence).
+ */
+
+#ifndef DX_LOOPIR_PASSES_HH
+#define DX_LOOPIR_PASSES_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "loopir/ir.hh"
+
+namespace dx::loopir
+{
+
+/** Result of the use-def DFS over one expression. */
+struct RefAnalysis
+{
+    bool usesIndVar = false;
+    unsigned indirectionDepth = 0; //!< 0 = affine/streaming
+    bool affine = false;           //!< index is i (stride-1 stream)
+};
+
+RefAnalysis analyzeExpr(const ExprPtr &e);
+
+/** Legality verdict for offloading the whole loop to DX100. */
+struct Legality
+{
+    bool ok = false;
+    std::string reason;
+};
+
+Legality checkLegality(const Program &prog);
+
+/** One lowered DX100 operation (mirrors the runtime API). */
+struct PackedOp
+{
+    enum class Kind
+    {
+        kSld,  //!< dst <- stream(array, start=tileBase)
+        kIld,  //!< dst <- array[src1]
+        kAluS, //!< dst <- src1 op scalar
+        kAluV, //!< dst <- src1 op src2
+        kIst,  //!< array[src1] <- src2
+        kIrmw, //!< array[src1] op= src2
+        kSst,  //!< stream(array, start=tileBase) <- src1
+    };
+
+    Kind kind = Kind::kSld;
+    int array = -1;
+    AluOp op = AluOp::kNone;
+    std::uint64_t scalar = 0;
+    int dst = -1;   //!< virtual tile id
+    int src1 = -1;
+    int src2 = -1;
+    int cond = -1;  //!< virtual condition tile, -1 = none
+    DataType dtype = DataType::kU32;
+
+    std::string toString(const Program &prog) const;
+};
+
+/** The tile-granular plan produced by code generation. */
+struct TilePlan
+{
+    std::vector<PackedOp> ops;
+    unsigned tilesNeeded = 0; //!< virtual tiles used per tile batch
+};
+
+/**
+ * Lower the program into a per-tile packed-op sequence. Fails (with a
+ * reason) if the loop is illegal or uses unsupported shapes.
+ */
+struct CodegenResult
+{
+    bool ok = false;
+    std::string reason;
+    TilePlan plan;
+};
+
+CodegenResult lowerToDx100(const Program &prog);
+
+/** Render the plan as readable pseudo-assembly. */
+std::string planToString(const Program &prog, const TilePlan &plan);
+
+} // namespace dx::loopir
+
+#endif // DX_LOOPIR_PASSES_HH

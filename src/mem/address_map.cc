@@ -1,0 +1,123 @@
+#include "mem/address_map.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dx::mem
+{
+
+namespace
+{
+
+/** Pop @p bits low-order bits from @p value, returning them. */
+std::uint64_t
+popBits(std::uint64_t &value, unsigned bits)
+{
+    const std::uint64_t field = value & ((std::uint64_t{1} << bits) - 1);
+    value >>= bits;
+    return field;
+}
+
+unsigned
+log2i(std::uint64_t v)
+{
+    dx_assert(v != 0 && (v & (v - 1)) == 0, "value must be a power of 2");
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+std::string
+to_string(MapOrder order)
+{
+    switch (order) {
+      case MapOrder::kChBgCoBaRo: return "ChBgCoBaRo";
+      case MapOrder::kChCoBgBaRo: return "ChCoBgBaRo";
+      case MapOrder::kCoChBgBaRo: return "CoChBgBaRo";
+    }
+    return "unknown";
+}
+
+DramCoord
+AddressMap::decompose(Addr addr) const
+{
+    std::uint64_t line = addr >> kLineShift;
+
+    const unsigned chBits = log2i(geom_.channels);
+    const unsigned bgBits = log2i(geom_.bankGroups);
+    const unsigned baBits = log2i(geom_.banksPerGroup);
+    const unsigned raBits = log2i(geom_.ranks);
+    const unsigned coBits = log2i(geom_.linesPerRow());
+
+    DramCoord c;
+    switch (order_) {
+      case MapOrder::kChBgCoBaRo:
+        c.channel = popBits(line, chBits);
+        c.bankGroup = popBits(line, bgBits);
+        c.column = popBits(line, coBits);
+        c.bank = popBits(line, baBits);
+        c.rank = popBits(line, raBits);
+        break;
+      case MapOrder::kChCoBgBaRo:
+        c.channel = popBits(line, chBits);
+        c.column = popBits(line, coBits);
+        c.bankGroup = popBits(line, bgBits);
+        c.bank = popBits(line, baBits);
+        c.rank = popBits(line, raBits);
+        break;
+      case MapOrder::kCoChBgBaRo:
+        c.column = popBits(line, coBits);
+        c.channel = popBits(line, chBits);
+        c.bankGroup = popBits(line, bgBits);
+        c.bank = popBits(line, baBits);
+        c.rank = popBits(line, raBits);
+        break;
+    }
+    c.row = static_cast<std::uint32_t>(line % geom_.rows);
+    return c;
+}
+
+Addr
+AddressMap::compose(const DramCoord &coord) const
+{
+    const unsigned chBits = log2i(geom_.channels);
+    const unsigned bgBits = log2i(geom_.bankGroups);
+    const unsigned baBits = log2i(geom_.banksPerGroup);
+    const unsigned raBits = log2i(geom_.ranks);
+    const unsigned coBits = log2i(geom_.linesPerRow());
+
+    std::uint64_t line = coord.row;
+
+    // Push fields back, MSB first (reverse of decompose).
+    auto push = [&line](std::uint64_t field, unsigned bits) {
+        line = (line << bits) | field;
+    };
+
+    switch (order_) {
+      case MapOrder::kChBgCoBaRo:
+        push(coord.rank, raBits);
+        push(coord.bank, baBits);
+        push(coord.column, coBits);
+        push(coord.bankGroup, bgBits);
+        push(coord.channel, chBits);
+        break;
+      case MapOrder::kChCoBgBaRo:
+        push(coord.rank, raBits);
+        push(coord.bank, baBits);
+        push(coord.bankGroup, bgBits);
+        push(coord.column, coBits);
+        push(coord.channel, chBits);
+        break;
+      case MapOrder::kCoChBgBaRo:
+        push(coord.rank, raBits);
+        push(coord.bank, baBits);
+        push(coord.bankGroup, bgBits);
+        push(coord.channel, chBits);
+        push(coord.column, coBits);
+        break;
+    }
+    return line << kLineShift;
+}
+
+} // namespace dx::mem

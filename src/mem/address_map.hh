@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Physical address to DRAM coordinate mapping.
+ *
+ * A line address is decomposed, LSB to MSB, into a configurable order of
+ * {channel, bank group, bank, column, rank, row} fields. The default
+ * order (kChBgCoBaRo) interleaves consecutive cache lines first across
+ * channels, then across bank groups, so streaming accesses enjoy both
+ * channel parallelism and tCCD_S column spacing, while 128 consecutive
+ * per-bank-group lines share one DRAM row.
+ */
+
+#ifndef DX_MEM_ADDRESS_MAP_HH
+#define DX_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dx::mem
+{
+
+/** Geometry of the DRAM system. */
+struct DramGeometry
+{
+    unsigned channels = 2;
+    unsigned ranks = 1;
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rowBytes = 8192;   //!< row-buffer size per bank
+    unsigned rows = 1u << 16;
+
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+    unsigned banksPerChannel() const { return ranks * banksPerRank(); }
+    unsigned totalBanks() const { return channels * banksPerChannel(); }
+    unsigned linesPerRow() const { return rowBytes / kLineBytes; }
+
+    /** Total capacity in bytes. */
+    std::uint64_t
+    capacity() const
+    {
+        return std::uint64_t{channels} * ranks * banksPerRank() * rows *
+               rowBytes;
+    }
+};
+
+/** Field interleaving order, LSB first. */
+enum class MapOrder
+{
+    kChBgCoBaRo, //!< ch, bg, column, bank, row (default, interleaved)
+    kChCoBgBaRo, //!< ch, column, bg, bank (row-major inside a bank group)
+    kCoChBgBaRo, //!< column lowest: whole rows contiguous per channel
+};
+
+std::string to_string(MapOrder order);
+
+/** Coordinates of one cache line inside the DRAM system. */
+struct DramCoord
+{
+    std::uint16_t channel = 0;
+    std::uint16_t rank = 0;
+    std::uint16_t bankGroup = 0;
+    std::uint16_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0; //!< line-granularity column within the row
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank &&
+               bankGroup == o.bankGroup && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+
+    /** Flat bank id within a channel: rank x bankGroup x bank. */
+    unsigned
+    bankInChannel(const DramGeometry &g) const
+    {
+        return (rank * g.bankGroups + bankGroup) * g.banksPerGroup + bank;
+    }
+
+    /** Flat bank id across the whole system. */
+    unsigned
+    flatBank(const DramGeometry &g) const
+    {
+        return channel * g.banksPerChannel() + bankInChannel(g);
+    }
+};
+
+class AddressMap
+{
+  public:
+    AddressMap() : AddressMap(DramGeometry{}, MapOrder::kChBgCoBaRo) {}
+
+    AddressMap(const DramGeometry &geom, MapOrder order)
+        : geom_(geom), order_(order)
+    {}
+
+    /** Decompose a byte address (its line) into DRAM coordinates. */
+    DramCoord decompose(Addr addr) const;
+
+    /** Recompose coordinates into the line base address (inverse). */
+    Addr compose(const DramCoord &coord) const;
+
+    const DramGeometry &geometry() const { return geom_; }
+    MapOrder order() const { return order_; }
+
+  private:
+    DramGeometry geom_;
+    MapOrder order_;
+};
+
+} // namespace dx::mem
+
+#endif // DX_MEM_ADDRESS_MAP_HH

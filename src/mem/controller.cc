@@ -1,0 +1,350 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dx::mem
+{
+
+MemoryController::MemoryController(const Config &cfg, unsigned channelId)
+    : cfg_(cfg), channel_(channelId),
+      banks_(cfg.geom.banksPerChannel()),
+      nextRefresh_(cfg.timings.tREFI)
+{
+    readQueue_.reserve(cfg.readQueueSize);
+    writeQueue_.reserve(cfg.writeQueueSize);
+}
+
+bool
+MemoryController::canAccept(bool write) const
+{
+    return write ? writeQueue_.size() < cfg_.writeQueueSize
+                 : readQueue_.size() < cfg_.readQueueSize;
+}
+
+unsigned
+MemoryController::readSlotsFree() const
+{
+    return cfg_.readQueueSize - static_cast<unsigned>(readQueue_.size());
+}
+
+void
+MemoryController::enqueue(const MemRequest &req)
+{
+    dx_assert(canAccept(req.write), "controller queue overflow");
+    dx_assert(req.coord.channel == channel_, "request routed to wrong "
+              "channel");
+    Entry e;
+    e.req = req;
+    e.req.enqueued = now_;
+    (req.write ? writeQueue_ : readQueue_).push_back(e);
+}
+
+bool
+MemoryController::idle() const
+{
+    return readQueue_.empty() && writeQueue_.empty() && pending_.empty();
+}
+
+MemoryController::Bank &
+MemoryController::bankFor(const DramCoord &c)
+{
+    return banks_[c.bankInChannel(cfg_.geom)];
+}
+
+unsigned
+MemoryController::flatBankFor(const DramCoord &c) const
+{
+    return c.bankInChannel(cfg_.geom);
+}
+
+void
+MemoryController::deliverResponses()
+{
+    while (!pending_.empty() && pending_.front().ready <= now_) {
+        MemRequest req = pending_.front().req;
+        pending_.pop_front();
+        if (req.sink)
+            req.sink->memResponse(req);
+    }
+}
+
+void
+MemoryController::tick()
+{
+    ++now_;
+    ++stats_.cycles;
+    stats_.occupancyAccum += readQueue_.size() + writeQueue_.size();
+
+    deliverResponses();
+
+    if (tryRefresh())
+        return;
+
+    // Write-drain hysteresis: enter write mode on the high watermark or
+    // when there is nothing else to do; leave on the low watermark once
+    // reads are waiting.
+    if (!writeMode_) {
+        // Read credits guarantee reads a burst of service between
+        // write drains even when the write queue is pinned full.
+        const bool creditsSpent = readCredit_ == 0 ||
+                                  readQueue_.empty();
+        if ((creditsSpent &&
+             writeQueue_.size() >= cfg_.writeHiWatermark) ||
+            (readQueue_.empty() && !writeQueue_.empty())) {
+            writeMode_ = true;
+            writeBurst_ = 0;
+        }
+    } else {
+        // Leave write mode at the low watermark, or after a bounded
+        // burst when reads are waiting (fairness: a producer that
+        // refills the write queue as fast as it drains must not
+        // starve reads).
+        const bool drained =
+            writeQueue_.size() <= cfg_.writeLoWatermark;
+        const bool burstDone = writeBurst_ >= cfg_.writeBurstMax;
+        if (writeQueue_.empty() ||
+            ((drained || burstDone) && !readQueue_.empty())) {
+            writeMode_ = false;
+            readCredit_ = cfg_.writeBurstMax;
+        }
+    }
+
+    if (writeMode_) {
+        tryIssueFrom(writeQueue_, true);
+    } else {
+        tryIssueFrom(readQueue_, false);
+    }
+}
+
+bool
+MemoryController::tryRefresh()
+{
+    if (!cfg_.timings.refreshEnabled)
+        return false;
+
+    if (!refreshPending_ && now_ >= nextRefresh_)
+        refreshPending_ = true;
+    if (!refreshPending_)
+        return false;
+
+    // Close all open rows, one PRE per cycle, then issue REF once every
+    // bank is precharged and its tRP has elapsed.
+    bool allClosed = true;
+    for (auto &bank : banks_) {
+        if (bank.openRow >= 0) {
+            allClosed = false;
+            if (bank.nextPre <= now_) {
+                issuePre(bank);
+                return true;
+            }
+        }
+    }
+    if (!allClosed)
+        return true; // stall issuing demand commands while draining
+
+    Cycle ready = now_;
+    for (const auto &bank : banks_)
+        ready = std::max(ready, bank.nextAct);
+    if (ready > now_)
+        return true;
+
+    for (auto &bank : banks_)
+        bank.nextAct = now_ + cfg_.timings.tRFC;
+    nextRefresh_ += cfg_.timings.tREFI;
+    refreshPending_ = false;
+    ++stats_.refCommands;
+    return true;
+}
+
+bool
+MemoryController::tryIssueFrom(std::vector<Entry> &queue, bool writes)
+{
+    if (tryColumn(queue, writes)) {
+        if (writes)
+            ++writeBurst_;
+        else if (readCredit_ > 0)
+            --readCredit_;
+        return true;
+    }
+    if (tryActivate(queue))
+        return true;
+    return tryPrecharge(queue);
+}
+
+bool
+MemoryController::tryColumn(std::vector<Entry> &queue, bool writes)
+{
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Entry &e = queue[i];
+        Bank &bank = bankFor(e.req.coord);
+        if (bank.openRow != static_cast<std::int64_t>(e.req.coord.row))
+            continue;
+        const Cycle ready = writes ? bank.nextWr : bank.nextRd;
+        if (ready > now_)
+            continue;
+
+        if (writes)
+            issueWrite(e);
+        else
+            issueRead(e);
+
+        if (e.neededAct)
+            ++stats_.rowMisses;
+        else
+            ++stats_.rowHits;
+
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::tryActivate(std::vector<Entry> &queue)
+{
+    for (auto &e : queue) {
+        Bank &bank = bankFor(e.req.coord);
+        if (bank.openRow >= 0)
+            continue;
+        if (bank.nextAct > now_ || !actAllowedByFaw())
+            continue;
+        issueAct(bank, e.req.coord.row, e.req.coord.bankGroup);
+        e.neededAct = true;
+        // Sibling requests to the same (bank, row) become row hits and
+        // need no flag; requests to other rows of this bank will conflict.
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::tryPrecharge(std::vector<Entry> &queue)
+{
+    for (auto &e : queue) {
+        Bank &bank = bankFor(e.req.coord);
+        if (bank.openRow < 0 ||
+            bank.openRow == static_cast<std::int64_t>(e.req.coord.row)) {
+            continue;
+        }
+        if (bank.nextPre > now_)
+            continue;
+        // FR-FCFS: do not close a row that still has pending hits in
+        // the queue currently being served. (Only that queue: letting
+        // the idle queue's hits pin rows open deadlocks the drain.)
+        if (rowHitPendingFor(queue, bank, flatBankFor(e.req.coord)))
+            continue;
+        issuePre(bank);
+        ++stats_.rowConflicts;
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::rowHitPendingFor(const std::vector<Entry> &queue,
+                                   const Bank &bank,
+                                   unsigned flatBank) const
+{
+    for (const auto &e : queue) {
+        if (flatBankFor(e.req.coord) == flatBank &&
+            static_cast<std::int64_t>(e.req.coord.row) ==
+                bank.openRow) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::actAllowedByFaw() const
+{
+    return actWindow_.size() < 4 ||
+           now_ >= actWindow_.front() + cfg_.timings.tFAW;
+}
+
+void
+MemoryController::issueAct(Bank &bank, std::uint32_t row,
+                           std::uint16_t bankGroup)
+{
+    const auto &t = cfg_.timings;
+    bank.openRow = row;
+    bank.nextRd = std::max(bank.nextRd, now_ + t.tRCD);
+    bank.nextWr = std::max(bank.nextWr, now_ + t.tRCD);
+    bank.nextPre = std::max(bank.nextPre, now_ + t.tRAS);
+    bank.nextAct = std::max(bank.nextAct, now_ + t.tRC());
+
+    // tRRD spacing to every other bank, by bank-group affinity.
+    const unsigned perGroup = cfg_.geom.banksPerGroup;
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        const unsigned bg = (b / perGroup) % cfg_.geom.bankGroups;
+        const unsigned gap = (bg == bankGroup) ? t.tRRD_L : t.tRRD_S;
+        banks_[b].nextAct = std::max(banks_[b].nextAct, now_ + gap);
+    }
+
+    actWindow_.push_back(now_);
+    while (actWindow_.size() > 4)
+        actWindow_.pop_front();
+    ++stats_.actCommands;
+}
+
+void
+MemoryController::issuePre(Bank &bank)
+{
+    bank.openRow = -1;
+    bank.nextAct = std::max(bank.nextAct, now_ + cfg_.timings.tRP);
+    ++stats_.preCommands;
+}
+
+void
+MemoryController::issueRead(Entry &e)
+{
+    const auto &t = cfg_.timings;
+    Bank &bank = bankFor(e.req.coord);
+    bank.nextPre = std::max(bank.nextPre, now_ + t.tRTP);
+
+    const unsigned perGroup = cfg_.geom.banksPerGroup;
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        const unsigned bg = (b / perGroup) % cfg_.geom.bankGroups;
+        const bool sameGroup = bg == e.req.coord.bankGroup;
+        const unsigned ccd = sameGroup ? t.tCCD_L : t.tCCD_S;
+        banks_[b].nextRd = std::max(banks_[b].nextRd, now_ + ccd);
+        banks_[b].nextWr = std::max(banks_[b].nextWr, now_ + t.tRTW);
+    }
+
+    stats_.busBusyCycles += t.tBL;
+    ++stats_.readsServed;
+
+    e.req.neededAct = e.neededAct;
+    pending_.push_back({now_ + t.tCL + t.tBL, e.req});
+}
+
+void
+MemoryController::issueWrite(Entry &e)
+{
+    const auto &t = cfg_.timings;
+    Bank &bank = bankFor(e.req.coord);
+    bank.nextPre = std::max(bank.nextPre, now_ + t.tCWL + t.tBL + t.tWR);
+
+    const unsigned perGroup = cfg_.geom.banksPerGroup;
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        const unsigned bg = (b / perGroup) % cfg_.geom.bankGroups;
+        const bool sameGroup = bg == e.req.coord.bankGroup;
+        const unsigned ccd = sameGroup ? t.tCCD_L : t.tCCD_S;
+        const unsigned wtr = sameGroup ? t.tWTR_L : t.tWTR_S;
+        banks_[b].nextWr = std::max(banks_[b].nextWr, now_ + ccd);
+        banks_[b].nextRd =
+            std::max(banks_[b].nextRd, now_ + t.tCWL + t.tBL + wtr);
+    }
+
+    stats_.busBusyCycles += t.tBL;
+    ++stats_.writesServed;
+
+    // Writes complete (from the requester's view) once issued.
+    e.req.neededAct = e.neededAct;
+    if (e.req.sink)
+        pending_.push_back({now_ + t.tCWL + t.tBL, e.req});
+}
+
+} // namespace dx::mem

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A single-channel DDR4 memory controller with an FR-FCFS scheduler.
+ *
+ * The controller owns a bounded request buffer (32 entries by default,
+ * per paper Table 3) and a write buffer with drain watermarks. Every
+ * controller cycle it issues at most one DRAM command, chosen
+ * first-ready-first-come-first-served: ready column commands to open rows
+ * win over row commands; among equals, the oldest request wins. All DDR4
+ * bank/bank-group/rank timing constraints from DramTimings are enforced,
+ * including tCCD_S/tCCD_L bank-group spacing, tFAW, write-to-read
+ * turnaround, and periodic all-bank refresh.
+ */
+
+#ifndef DX_MEM_CONTROLLER_HH
+#define DX_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "mem/dram_timings.hh"
+#include "mem/request.hh"
+
+namespace dx::mem
+{
+
+class MemoryController
+{
+  public:
+    struct Config
+    {
+        DramTimings timings;
+        DramGeometry geom;
+        unsigned readQueueSize = 32;
+        unsigned writeQueueSize = 32;
+        unsigned writeHiWatermark = 24;
+        unsigned writeLoWatermark = 8;
+        unsigned writeBurstMax = 24; //!< writes per drain when reads wait
+    };
+
+    struct Stats
+    {
+        Counter cycles;
+        Counter readsServed;
+        Counter writesServed;
+        Counter rowHits;       //!< column commands needing no ACT
+        Counter rowMisses;     //!< column commands that required an ACT
+        Counter rowConflicts;  //!< requests that forced a PRE first
+        Counter actCommands;
+        Counter preCommands;
+        Counter refCommands;
+        Counter busBusyCycles; //!< data-bus occupancy in controller cycles
+        std::uint64_t occupancyAccum = 0; //!< sum of queue sizes per cycle
+
+        double
+        rowHitRate() const
+        {
+            const double total =
+                static_cast<double>(rowHits.value() + rowMisses.value());
+            return total > 0 ? rowHits.value() / total : 0.0;
+        }
+
+        double
+        busUtilization() const
+        {
+            return cycles.value()
+                ? static_cast<double>(busBusyCycles.value()) /
+                      cycles.value()
+                : 0.0;
+        }
+    };
+
+    MemoryController(const Config &cfg, unsigned channelId);
+
+    /** True if a request of the given type can be enqueued right now. */
+    bool canAccept(bool write) const;
+
+    /** Free read-buffer slots (used by DX100's request generator). */
+    unsigned readSlotsFree() const;
+
+    /** Enqueue a request; canAccept(write) must be true. */
+    void enqueue(const MemRequest &req);
+
+    /** Advance one controller clock cycle. */
+    void tick();
+
+    /** Current controller cycle. */
+    Cycle now() const { return now_; }
+
+    /** True when both queues and in-flight responses are empty. */
+    bool idle() const;
+
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return cfg_; }
+    unsigned channelId() const { return channel_; }
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Cycle nextAct = 0;
+        Cycle nextPre = 0;
+        Cycle nextRd = 0;
+        Cycle nextWr = 0;
+    };
+
+    struct Entry
+    {
+        MemRequest req;
+        bool neededAct = false; //!< an ACT was issued on its behalf
+    };
+
+    struct PendingResp
+    {
+        Cycle ready;
+        MemRequest req;
+    };
+
+    // Scheduling helpers; each returns true if a command was issued.
+    bool tryRefresh();
+    bool tryIssueFrom(std::vector<Entry> &queue, bool writes);
+    bool tryColumn(std::vector<Entry> &queue, bool writes);
+    bool tryActivate(std::vector<Entry> &queue);
+    bool tryPrecharge(std::vector<Entry> &queue);
+
+    void issueRead(Entry &e);
+    void issueWrite(Entry &e);
+    void issueAct(Bank &bank, std::uint32_t row, std::uint16_t bankGroup);
+    void issuePre(Bank &bank);
+
+    bool actAllowedByFaw() const;
+    bool rowHitPendingFor(const std::vector<Entry> &queue,
+                          const Bank &bank, unsigned flatBank) const;
+
+    Bank &bankFor(const DramCoord &c);
+    unsigned flatBankFor(const DramCoord &c) const;
+
+    void deliverResponses();
+
+    const Config cfg_;
+    const unsigned channel_;
+    Cycle now_ = 0;
+
+    std::vector<Bank> banks_;       //!< per (rank, bg, bank) in channel
+    std::vector<Entry> readQueue_;
+    std::vector<Entry> writeQueue_;
+    std::deque<PendingResp> pending_;
+
+    bool writeMode_ = false;
+    unsigned writeBurst_ = 0;
+    unsigned readCredit_ = 0;
+    bool refreshPending_ = false;
+    Cycle nextRefresh_;
+    std::deque<Cycle> actWindow_;   //!< timestamps of recent ACTs (tFAW)
+
+    Stats stats_;
+};
+
+} // namespace dx::mem
+
+#endif // DX_MEM_CONTROLLER_HH

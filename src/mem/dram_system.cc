@@ -1,0 +1,123 @@
+#include "mem/dram_system.hh"
+
+#include "common/logging.hh"
+
+namespace dx::mem
+{
+
+DramSystem::DramSystem(const Config &cfg)
+    : cfg_(cfg), map_(cfg.ctrl.geom, cfg.order)
+{
+    for (unsigned c = 0; c < cfg_.ctrl.geom.channels; ++c)
+        channels_.push_back(
+            std::make_unique<MemoryController>(cfg_.ctrl, c));
+}
+
+unsigned
+DramSystem::channelOf(Addr addr) const
+{
+    return map_.decompose(addr).channel;
+}
+
+bool
+DramSystem::canAccept(Addr lineAddr, bool write) const
+{
+    return channels_[channelOf(lineAddr)]->canAccept(write);
+}
+
+void
+DramSystem::access(Addr lineAddr, bool write, Origin origin,
+                   std::uint64_t tag, MemRespSink *sink)
+{
+    MemRequest req;
+    req.lineAddr = lineAlign(lineAddr);
+    req.write = write;
+    req.origin = origin;
+    req.tag = tag;
+    req.sink = sink;
+    req.coord = map_.decompose(req.lineAddr);
+    channels_[req.coord.channel]->enqueue(req);
+}
+
+void
+DramSystem::tick()
+{
+    if (++phase_ >= cfg_.clockRatio) {
+        phase_ = 0;
+        for (auto &ch : channels_)
+            ch->tick();
+    }
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &ch : channels_) {
+        if (!ch->idle())
+            return false;
+    }
+    return true;
+}
+
+double
+DramSystem::busUtilization() const
+{
+    std::uint64_t busy = 0;
+    std::uint64_t cycles = 0;
+    for (const auto &ch : channels_) {
+        busy += ch->stats().busBusyCycles.value();
+        cycles += ch->stats().cycles.value();
+    }
+    return cycles ? static_cast<double>(busy) / cycles : 0.0;
+}
+
+double
+DramSystem::rowHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        hits += ch->stats().rowHits.value();
+        total += ch->stats().rowHits.value() +
+                 ch->stats().rowMisses.value();
+    }
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+double
+DramSystem::queueOccupancy() const
+{
+    double occ = 0.0;
+    for (const auto &ch : channels_) {
+        const auto &s = ch->stats();
+        if (s.cycles.value() == 0)
+            continue;
+        const double cap = cfg_.ctrl.readQueueSize +
+                           cfg_.ctrl.writeQueueSize;
+        occ += static_cast<double>(s.occupancyAccum) /
+               (static_cast<double>(s.cycles.value()) * cap);
+    }
+    return channels_.empty() ? 0.0 : occ / channels_.size();
+}
+
+std::uint64_t
+DramSystem::linesTransferred() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->stats().readsServed.value() +
+             ch->stats().writesServed.value();
+    return n;
+}
+
+double
+DramSystem::peakBytesPerCoreCycle() const
+{
+    // Each channel moves one line per tBL controller cycles at peak.
+    const double perChannel =
+        static_cast<double>(kLineBytes) /
+        (cfg_.ctrl.timings.tBL * cfg_.clockRatio);
+    return perChannel * channels_.size();
+}
+
+} // namespace dx::mem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-channel DRAM system: routes line requests to per-channel FR-FCFS
+ * controllers and bridges the core clock domain (3.2 GHz) to the
+ * controller clock domain (1.6 GHz for DDR4-3200).
+ */
+
+#ifndef DX_MEM_DRAM_SYSTEM_HH
+#define DX_MEM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/controller.hh"
+#include "mem/request.hh"
+
+namespace dx::mem
+{
+
+class DramSystem
+{
+  public:
+    struct Config
+    {
+        MemoryController::Config ctrl;
+        MapOrder order = MapOrder::kChBgCoBaRo;
+        unsigned clockRatio = 2; //!< core cycles per controller cycle
+    };
+
+    explicit DramSystem(const Config &cfg);
+
+    const AddressMap &addressMap() const { return map_; }
+    const DramGeometry &geometry() const { return cfg_.ctrl.geom; }
+    unsigned channels() const { return cfg_.ctrl.geom.channels; }
+
+    /** Channel a byte/line address maps to. */
+    unsigned channelOf(Addr addr) const;
+
+    /** True if the owning channel can buffer this request now. */
+    bool canAccept(Addr lineAddr, bool write) const;
+
+    /** Enqueue a line request; canAccept must hold. */
+    void access(Addr lineAddr, bool write, Origin origin,
+                std::uint64_t tag, MemRespSink *sink);
+
+    /** Advance one core clock cycle. */
+    void tick();
+
+    /** True when all channels are drained. */
+    bool idle() const;
+
+    MemoryController &channel(unsigned i) { return *channels_[i]; }
+    const MemoryController &channel(unsigned i) const
+    {
+        return *channels_[i];
+    }
+
+    /** Aggregate data-bus utilization across channels, in [0, 1]. */
+    double busUtilization() const;
+
+    /** Aggregate row-buffer hit rate across channels, in [0, 1]. */
+    double rowHitRate() const;
+
+    /** Mean request-buffer occupancy as a fraction of capacity. */
+    double queueOccupancy() const;
+
+    /** Total lines transferred (reads + writes). */
+    std::uint64_t linesTransferred() const;
+
+    /** Peak bandwidth in bytes per core cycle (for utilization math). */
+    double peakBytesPerCoreCycle() const;
+
+  private:
+    const Config cfg_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<MemoryController>> channels_;
+    unsigned phase_ = 0; //!< core cycles since last controller tick
+};
+
+} // namespace dx::mem
+
+#endif // DX_MEM_DRAM_SYSTEM_HH

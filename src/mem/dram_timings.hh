@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DDR4 timing parameters, expressed in memory-controller clock cycles.
+ *
+ * The evaluated configuration (paper Table 3) is DDR4-3200 with
+ * tCK = 625 ps: tRP/tRCD = 12.5 ns, tCCD_S/L = 2.5/5.0 ns, tRTP = 7.5 ns,
+ * tRAS = 32.5 ns. Parameters not listed in the paper use standard
+ * DDR4-3200AA values.
+ */
+
+#ifndef DX_MEM_DRAM_TIMINGS_HH
+#define DX_MEM_DRAM_TIMINGS_HH
+
+#include <cstdint>
+
+namespace dx::mem
+{
+
+struct DramTimings
+{
+    // Row commands.
+    unsigned tRCD = 20;   //!< ACT -> column command, 12.5 ns
+    unsigned tRP = 20;    //!< PRE -> ACT, 12.5 ns
+    unsigned tRAS = 52;   //!< ACT -> PRE, 32.5 ns
+    unsigned tRTP = 12;   //!< RD -> PRE, 7.5 ns
+    unsigned tWR = 24;    //!< end of write data -> PRE, 15 ns
+
+    // Column commands.
+    unsigned tCL = 22;    //!< RD -> first data beat
+    unsigned tCWL = 16;   //!< WR -> first data beat
+    unsigned tBL = 4;     //!< burst length 8 at DDR = 4 controller cycles
+    unsigned tCCD_S = 4;  //!< col -> col, different bank group, 2.5 ns
+    unsigned tCCD_L = 8;  //!< col -> col, same bank group, 5.0 ns
+
+    // Activation spacing.
+    unsigned tRRD_S = 4;  //!< ACT -> ACT, different bank group
+    unsigned tRRD_L = 8;  //!< ACT -> ACT, same bank group
+    unsigned tFAW = 26;   //!< four-activate window, 16 ns
+
+    // Bus turnaround.
+    unsigned tWTR_S = 4;  //!< write data -> RD, different bank group
+    unsigned tWTR_L = 12; //!< write data -> RD, same bank group
+    unsigned tRTW = 12;   //!< RD -> WR gap (CL - CWL + BL + 2)
+
+    // Refresh.
+    unsigned tREFI = 12480; //!< refresh interval, 7.8 us
+    unsigned tRFC = 560;    //!< refresh cycle time, 350 ns (8 Gb)
+    bool refreshEnabled = true;
+
+    /** ACT -> ACT same bank. */
+    unsigned tRC() const { return tRAS + tRP; }
+};
+
+} // namespace dx::mem
+
+#endif // DX_MEM_DRAM_TIMINGS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory request / response plumbing shared by caches, DX100 and DRAM.
+ */
+
+#ifndef DX_MEM_REQUEST_HH
+#define DX_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/address_map.hh"
+
+namespace dx::mem
+{
+
+/** Who generated a DRAM request (for stats attribution). */
+enum class Origin : std::uint8_t
+{
+    kCpuDemand,
+    kPrefetch,
+    kDx100,
+    kWriteback,
+};
+
+struct MemRequest;
+
+/** Receives completions for DRAM reads (and writes, when issued). */
+class MemRespSink
+{
+  public:
+    virtual ~MemRespSink() = default;
+    virtual void memResponse(const MemRequest &req) = 0;
+};
+
+/** One line-granularity DRAM request. */
+struct MemRequest
+{
+    Addr lineAddr = 0;
+    bool write = false;
+    Origin origin = Origin::kCpuDemand;
+    std::uint64_t tag = 0;        //!< sink-defined cookie
+    MemRespSink *sink = nullptr;  //!< may be null for fire-and-forget
+    DramCoord coord;
+    Cycle enqueued = 0;           //!< controller cycle of arrival
+    bool neededAct = false;       //!< filled by the controller (row stat)
+};
+
+} // namespace dx::mem
+
+#endif // DX_MEM_REQUEST_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical area/power model (paper Table 4 + §6.5).
+ *
+ * Component areas and powers are the paper's 28 nm synthesis results;
+ * scaling to 14 nm uses Stillmaker & Baas-style technology scaling
+ * factors. The processor-overhead computation mirrors §6.5: a 14 nm
+ * Skylake core is ~10.1 mm^2, a 2 MB LLC slice ~2.3 mm^2, and DX100 is
+ * shared by four cores.
+ */
+
+#ifndef DX_MODEL_AREA_POWER_HH
+#define DX_MODEL_AREA_POWER_HH
+
+#include <string>
+#include <vector>
+
+namespace dx::model
+{
+
+struct Component
+{
+    std::string name;
+    double areaMm2atlas28 = 0.0; //!< mm^2 at 28 nm
+    double powerMw28 = 0.0;      //!< mW at 28 nm
+};
+
+struct AreaPowerModel
+{
+    /** Paper Table 4 components (28 nm). */
+    static std::vector<Component> components();
+
+    /** Area scaling factor 28 nm -> 14 nm (Stillmaker & Baas). */
+    static double areaScale28to14();
+
+    /** Total DX100 area at 28 nm (mm^2). */
+    static double totalArea28();
+
+    /** Total DX100 power at 28 nm (mW). */
+    static double totalPower28();
+
+    /** Total DX100 area scaled to 14 nm (mm^2). */
+    static double totalArea14();
+
+    /** Per-processor overhead of one DX100 shared by @p cores cores. */
+    static double processorOverhead(unsigned cores = 4);
+
+    /** 14 nm Skylake core area (die-shot estimate), mm^2. */
+    static constexpr double kCoreArea14 = 10.1;
+
+    /** 14 nm 2 MB LLC slice area, mm^2. */
+    static constexpr double kLlcSliceArea14 = 2.3;
+};
+
+} // namespace dx::model
+
+#endif // DX_MODEL_AREA_POWER_HH

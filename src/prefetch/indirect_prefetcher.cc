@@ -1,0 +1,171 @@
+#include "prefetch/indirect_prefetcher.hh"
+
+#include <cstdlib>
+
+namespace dx::prefetch
+{
+
+IndirectPrefetcher::IndirectPrefetcher(const Config &cfg,
+                                       const SimMemory *mem)
+    : cfg_(cfg), mem_(mem), streams_(cfg.streamTableSize),
+      patterns_(cfg.patternTableSize)
+{
+}
+
+IndirectPrefetcher::Stream &
+IndirectPrefetcher::streamFor(std::uint16_t pc)
+{
+    return streams_[pc % cfg_.streamTableSize];
+}
+
+void
+IndirectPrefetcher::push(Addr line)
+{
+    if (queue_.size() < cfg_.queueMax)
+        queue_.push_back(lineAlign(line));
+}
+
+void
+IndirectPrefetcher::observe(const cache::CacheReq &req, bool miss)
+{
+    if (req.origin != mem::Origin::kCpuDemand)
+        return;
+
+    // 1. Differential matching: correlate this miss address with the
+    //    values of recent strided index loads. RMW targets are writes
+    //    that read, so they participate too.
+    if (miss)
+        matchMiss(req.addr);
+
+    if (req.write || req.pc == 0)
+        return;
+
+    // 2. Stream detection over the index load's addresses.
+    Stream &s = streamFor(req.pc);
+    if (!s.valid || s.pc != req.pc) {
+        s = Stream{};
+        s.valid = true;
+        s.pc = req.pc;
+        s.lastAddr = req.addr;
+        return;
+    }
+    const std::int64_t delta = static_cast<std::int64_t>(req.addr) -
+                               static_cast<std::int64_t>(s.lastAddr);
+    s.lastAddr = req.addr;
+    if (delta == 0)
+        return;
+    if (delta == s.stride) {
+        if (s.confidence < cfg_.confidenceThreshold + 2)
+            ++s.confidence;
+    } else {
+        if (--s.confidence <= 0) {
+            s.stride = delta;
+            s.confidence = 1;
+        }
+        return;
+    }
+
+    if (s.confidence < cfg_.confidenceThreshold)
+        return;
+    const std::int64_t absStride = std::abs(s.stride);
+    if (absStride != 4 && absStride != 8)
+        return; // not an index-element stream
+
+    // Remember this confirmed index load for matching and triggering.
+    Recent r;
+    r.pc = req.pc;
+    r.value = req.value;
+    r.addr = req.addr;
+    r.stride = s.stride;
+    r.bytes = static_cast<unsigned>(absStride);
+    recent_.push_back(r);
+    while (recent_.size() > cfg_.recentValues)
+        recent_.pop_front();
+
+    // Stream-prefetch the index array itself.
+    for (unsigned k = 1; k <= cfg_.streamDegree; ++k) {
+        push(static_cast<Addr>(
+            static_cast<std::int64_t>(req.addr) +
+            s.stride * static_cast<std::int64_t>(8 + k)));
+        ++stats_.streamPrefetches;
+    }
+
+    triggerIndirect(r);
+}
+
+void
+IndirectPrefetcher::matchMiss(Addr missAddr)
+{
+    for (const Recent &r : recent_) {
+        for (unsigned scale : {4u, 8u}) {
+            const std::int64_t base =
+                static_cast<std::int64_t>(missAddr) -
+                static_cast<std::int64_t>(r.value * scale);
+            if (base < 0)
+                continue;
+            // Confirm or allocate a pattern (indexPc, scale, base).
+            Pattern *free = nullptr;
+            Pattern *weakest = &patterns_[0];
+            bool handled = false;
+            for (auto &p : patterns_) {
+                if (p.valid && p.indexPc == r.pc && p.scale == scale &&
+                    p.base == base) {
+                    if (p.confidence < cfg_.confidenceThreshold + 2)
+                        ++p.confidence;
+                    if (p.confidence == cfg_.confidenceThreshold)
+                        ++stats_.patternsLearned;
+                    handled = true;
+                    break;
+                }
+                if (!p.valid)
+                    free = &p;
+                else if (p.confidence < weakest->confidence)
+                    weakest = &p;
+            }
+            if (handled)
+                continue;
+            Pattern *slot = free ? free : weakest;
+            if (!free && slot->confidence > 0) {
+                --slot->confidence;
+                continue;
+            }
+            slot->valid = true;
+            slot->indexPc = r.pc;
+            slot->base = base;
+            slot->scale = scale;
+            slot->confidence = 1;
+        }
+    }
+}
+
+void
+IndirectPrefetcher::triggerIndirect(const Recent &r)
+{
+    for (const auto &p : patterns_) {
+        if (!p.valid || p.indexPc != r.pc ||
+            p.confidence < cfg_.confidenceThreshold) {
+            continue;
+        }
+        // Future index value, d elements ahead of the demand stream.
+        const Addr futureAddr = static_cast<Addr>(
+            static_cast<std::int64_t>(r.addr) +
+            r.stride * static_cast<std::int64_t>(cfg_.distance));
+        const std::uint64_t v =
+            r.bytes == 4 ? mem_->read<std::uint32_t>(futureAddr)
+                         : mem_->read<std::uint64_t>(futureAddr);
+        push(static_cast<Addr>(p.base + v * p.scale));
+        ++stats_.indirectPrefetches;
+    }
+}
+
+bool
+IndirectPrefetcher::nextPrefetch(Addr &line)
+{
+    if (queue_.empty())
+        return false;
+    line = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+} // namespace dx::prefetch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * DMP-style indirect (differential-matching) prefetcher model.
+ *
+ * Reproduces the behaviour class of the paper's comparison point
+ * (Fu et al., HPCA'24): a stream detector finds strided index loads
+ * B[i]; a pattern matcher correlates recently loaded index *values*
+ * with later demand-miss *addresses* to learn (base, scale) of the
+ * dependent access A[B[i]]; once confident, every index load triggers a
+ * prefetch of A[B[i + d]] using the index value d elements ahead.
+ *
+ * The model reads the future index value from the functional memory —
+ * an idealization standing in for DMP's prefetched index lines. This is
+ * generous to DMP (perfect value knowledge once the pattern is
+ * learned), so DX100's advantage over it is measured conservatively.
+ * Like the real design, it prefetches conditional accesses
+ * unconditionally (cache pollution) and leaves the core's instruction
+ * stream untouched.
+ */
+
+#ifndef DX_PREFETCH_INDIRECT_PREFETCHER_HH
+#define DX_PREFETCH_INDIRECT_PREFETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/prefetcher.hh"
+#include "common/sim_memory.hh"
+
+namespace dx::prefetch
+{
+
+class IndirectPrefetcher : public cache::Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned streamTableSize = 16;
+        unsigned patternTableSize = 16;
+        unsigned recentValues = 8;   //!< index values kept for matching
+        unsigned distance = 16;      //!< index elements ahead
+        int confidenceThreshold = 2;
+        unsigned queueMax = 64;
+        unsigned streamDegree = 2;   //!< also stream-prefetch the index
+    };
+
+    struct Stats
+    {
+        std::uint64_t patternsLearned = 0;
+        std::uint64_t indirectPrefetches = 0;
+        std::uint64_t streamPrefetches = 0;
+    };
+
+    IndirectPrefetcher(const Config &cfg, const SimMemory *mem);
+
+    void observe(const cache::CacheReq &req, bool miss) override;
+    bool nextPrefetch(Addr &line) override;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        std::uint16_t pc = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+    };
+
+    struct Recent
+    {
+        std::uint16_t pc = 0;
+        std::uint64_t value = 0;
+        Addr addr = 0;        //!< address the value was loaded from
+        std::int64_t stride = 0;
+        unsigned bytes = 4;   //!< index element size
+    };
+
+    struct Pattern
+    {
+        bool valid = false;
+        std::uint16_t indexPc = 0;
+        std::int64_t base = 0;
+        unsigned scale = 4;
+        int confidence = 0;
+    };
+
+    Stream &streamFor(std::uint16_t pc);
+    void matchMiss(Addr missAddr);
+    void triggerIndirect(const Recent &r);
+    void push(Addr line);
+
+    Config cfg_;
+    const SimMemory *mem_;
+    std::vector<Stream> streams_;
+    std::vector<Pattern> patterns_;
+    std::deque<Recent> recent_;
+    std::deque<Addr> queue_;
+    Stats stats_;
+};
+
+} // namespace dx::prefetch
+
+#endif // DX_PREFETCH_INDIRECT_PREFETCHER_HH

@@ -1,0 +1,312 @@
+#include "runtime/dx100_api.hh"
+
+#include "common/logging.hh"
+
+namespace dx::runtime
+{
+
+using dx100::ExecPayload;
+using dx100::Instruction;
+using dx100::kNoOperand;
+using dx100::Opcode;
+using dx100::StreamScalars;
+
+Dx100Runtime::Dx100Runtime(dx100::Dx100 &dev, SimMemory &mem)
+    : dev_(dev),
+      mirror_(mem, dev.config().numTiles, dev.config().tileElems,
+              dev.config().numRegs),
+      tileFree_(dev.config().numTiles, true),
+      regFree_(dev.config().numRegs, true)
+{
+}
+
+unsigned
+Dx100Runtime::allocTile()
+{
+    for (unsigned t = 0; t < tileFree_.size(); ++t) {
+        if (tileFree_[t]) {
+            tileFree_[t] = false;
+            return t;
+        }
+    }
+    dx_fatal("out of scratchpad tiles");
+}
+
+void
+Dx100Runtime::freeTile(unsigned tile)
+{
+    dx_assert(tile < tileFree_.size() && !tileFree_[tile],
+              "freeing an unallocated tile");
+    tileFree_[tile] = true;
+}
+
+unsigned
+Dx100Runtime::allocReg()
+{
+    for (unsigned r = 0; r < regFree_.size(); ++r) {
+        if (regFree_[r]) {
+            regFree_[r] = false;
+            return r;
+        }
+    }
+    dx_fatal("out of DX100 registers");
+}
+
+void
+Dx100Runtime::freeReg(unsigned reg)
+{
+    dx_assert(reg < regFree_.size() && !regFree_[reg],
+              "freeing an unallocated register");
+    regFree_[reg] = true;
+}
+
+void
+Dx100Runtime::registerRegion(Addr base, Addr size)
+{
+    dev_.registerRegion(base, size);
+}
+
+ExecPayload
+Dx100Runtime::buildPayload(const Instruction &instr)
+{
+    ExecPayload p;
+    p.instr = instr;
+
+    auto snapshotCond = [&]() {
+        if (instr.tc == kNoOperand)
+            return;
+        const auto &tc = mirror_.tile(instr.tc);
+        p.cond.resize(tc.size);
+        for (std::uint32_t i = 0; i < tc.size; ++i)
+            p.cond[i] = tc.data[i] != 0 ? 1 : 0;
+    };
+
+    switch (instr.op) {
+      case Opcode::kIld:
+      case Opcode::kIst:
+      case Opcode::kIrmw: {
+        const auto &ts1 = mirror_.tile(instr.ts1);
+        p.count = ts1.size;
+        p.src1.assign(ts1.data.begin(), ts1.data.begin() + ts1.size);
+        snapshotCond();
+        p.outCount = instr.op == Opcode::kIld ? p.count : 0;
+        break;
+      }
+      case Opcode::kSld:
+      case Opcode::kSst: {
+        p.count = dx100::unpackStream(instr.imm).count;
+        snapshotCond();
+        p.outCount = instr.op == Opcode::kSld ? p.count : 0;
+        break;
+      }
+      case Opcode::kAluv:
+      case Opcode::kAlus:
+        p.count = mirror_.tile(instr.ts1).size;
+        snapshotCond();
+        p.outCount = p.count;
+        break;
+      case Opcode::kRng:
+        p.count = mirror_.tile(instr.ts1).size;
+        snapshotCond();
+        // outCount captured by the caller after mirror execution.
+        break;
+    }
+    return p;
+}
+
+std::uint64_t
+Dx100Runtime::issue(cpu::OpEmitter &e, int core,
+                    const Instruction &instr)
+{
+    ExecPayload payload = buildPayload(instr);
+    mirror_.execute(instr);
+    if (instr.op == Opcode::kRng)
+        payload.outCount = mirror_.tile(instr.td).size;
+
+    const std::uint64_t token =
+        dev_.registerPayload(core, std::move(payload));
+
+    // Encode + three doorbell stores, with a couple of ALU ops standing
+    // in for the encoding arithmetic of the real library.
+    const auto words = dx100::encode(instr);
+    const SeqNum enc = e.intOp(1);
+    for (unsigned w = 0; w < 3; ++w)
+        e.mmioStore(dev_.config().doorbellAddr(core, w), words[w], enc);
+    return token;
+}
+
+std::uint64_t
+Dx100Runtime::sld(cpu::OpEmitter &e, int core, DataType t, Addr base,
+                  unsigned td, std::uint64_t start, std::uint32_t count,
+                  std::int32_t stride, unsigned tc)
+{
+    dx_assert(count <= tileElems(), "stream longer than a tile");
+    Instruction in;
+    in.op = Opcode::kSld;
+    in.dtype = t;
+    in.td = static_cast<std::uint8_t>(td);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.base = base;
+    in.imm = dx100::packStream({start, count, stride});
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::sst(cpu::OpEmitter &e, int core, DataType t, Addr base,
+                  unsigned ts, std::uint64_t start, std::uint32_t count,
+                  std::int32_t stride, unsigned tc)
+{
+    dx_assert(count <= tileElems(), "stream longer than a tile");
+    Instruction in;
+    in.op = Opcode::kSst;
+    in.dtype = t;
+    in.ts1 = static_cast<std::uint8_t>(ts);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.base = base;
+    in.imm = dx100::packStream({start, count, stride});
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::ild(cpu::OpEmitter &e, int core, DataType t, Addr base,
+                  unsigned td, unsigned ts1, unsigned tc)
+{
+    Instruction in;
+    in.op = Opcode::kIld;
+    in.dtype = t;
+    in.td = static_cast<std::uint8_t>(td);
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.base = base;
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::ist(cpu::OpEmitter &e, int core, DataType t, Addr base,
+                  unsigned ts1, unsigned ts2, unsigned tc)
+{
+    Instruction in;
+    in.op = Opcode::kIst;
+    in.dtype = t;
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.ts2 = static_cast<std::uint8_t>(ts2);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.base = base;
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::irmw(cpu::OpEmitter &e, int core, DataType t, AluOp op,
+                   Addr base, unsigned ts1, unsigned ts2, unsigned tc)
+{
+    dx_assert(dx100::rmwSupported(op),
+              "IRMW op must be associative and commutative");
+    Instruction in;
+    in.op = Opcode::kIrmw;
+    in.dtype = t;
+    in.aluOp = op;
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.ts2 = static_cast<std::uint8_t>(ts2);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.base = base;
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::aluv(cpu::OpEmitter &e, int core, DataType t, AluOp op,
+                   unsigned td, unsigned ts1, unsigned ts2, unsigned tc)
+{
+    Instruction in;
+    in.op = Opcode::kAluv;
+    in.dtype = t;
+    in.aluOp = op;
+    in.td = static_cast<std::uint8_t>(td);
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.ts2 = static_cast<std::uint8_t>(ts2);
+    in.tc = static_cast<std::uint8_t>(tc);
+    return issue(e, core, in);
+}
+
+std::uint64_t
+Dx100Runtime::alus(cpu::OpEmitter &e, int core, DataType t, AluOp op,
+                   unsigned td, unsigned ts1, std::uint64_t scalar,
+                   unsigned tc)
+{
+    const unsigned reg = allocReg();
+    mirror_.writeReg(reg, scalar);
+    // The scalar travels as an uncacheable RF store before the doorbell.
+    e.mmioStore(dev_.config().rfAddr(reg), scalar);
+
+    Instruction in;
+    in.op = Opcode::kAlus;
+    in.dtype = t;
+    in.aluOp = op;
+    in.td = static_cast<std::uint8_t>(td);
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.rs1 = static_cast<std::uint8_t>(reg);
+    in.tc = static_cast<std::uint8_t>(tc);
+    const std::uint64_t token = issue(e, core, in);
+    freeReg(reg);
+    return token;
+}
+
+std::uint64_t
+Dx100Runtime::rng(cpu::OpEmitter &e, int core, unsigned td1,
+                  unsigned td2, unsigned ts1, unsigned ts2,
+                  std::uint32_t startRange, std::uint32_t *consumed,
+                  unsigned tc)
+{
+    const unsigned reg = allocReg();
+    Instruction in;
+    in.op = Opcode::kRng;
+    in.td = static_cast<std::uint8_t>(td1);
+    in.td2 = static_cast<std::uint8_t>(td2);
+    in.ts1 = static_cast<std::uint8_t>(ts1);
+    in.ts2 = static_cast<std::uint8_t>(ts2);
+    in.rs1 = static_cast<std::uint8_t>(reg);
+    in.tc = static_cast<std::uint8_t>(tc);
+    in.imm = startRange;
+    const std::uint64_t token = issue(e, core, in);
+    if (consumed)
+        *consumed = static_cast<std::uint32_t>(mirror_.reg(reg));
+    freeReg(reg);
+    return token;
+}
+
+void
+Dx100Runtime::wait(cpu::OpEmitter &e, std::uint64_t token)
+{
+    e.dxWait(token);
+}
+
+std::uint64_t
+Dx100Runtime::spdValue(unsigned tile, unsigned i) const
+{
+    return mirror_.tile(tile).data[i];
+}
+
+std::uint32_t
+Dx100Runtime::tileSize(unsigned tile) const
+{
+    return mirror_.tile(tile).size;
+}
+
+Addr
+Dx100Runtime::spdAddr(unsigned tile, unsigned i) const
+{
+    return dev_.config().spdAddr(tile, i);
+}
+
+void
+Dx100Runtime::pokeTile(unsigned tile, unsigned i, std::uint64_t v)
+{
+    mirror_.tileRef(tile).data[i] = v;
+}
+
+void
+Dx100Runtime::setTileSize(unsigned tile, std::uint32_t n)
+{
+    mirror_.tileRef(tile).size = n;
+}
+
+} // namespace dx::runtime

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Host-side DX100 programming API (paper §4.1).
+ *
+ * Mirrors the paper's library: instruction encoding, memory-mapped
+ * doorbell stores, tile/register allocation, PTE transfer, and a wait
+ * primitive. A kernel calls these from emitChunk(); each API call
+ * (a) executes the instruction's semantics on the runtime's functional
+ * mirror (eager functional execution, DESIGN.md §4.2),
+ * (b) registers the timing payload with the accelerator sideband, and
+ * (c) emits the three 64-bit doorbell micro-ops (plus any register
+ * writes) into the calling core's op stream.
+ */
+
+#ifndef DX_RUNTIME_DX100_API_HH
+#define DX_RUNTIME_DX100_API_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_memory.hh"
+#include "cpu/microop.hh"
+#include "dx100/dx100.hh"
+#include "dx100/functional.hh"
+
+namespace dx::runtime
+{
+
+using dx100::AluOp;
+using dx100::DataType;
+
+class Dx100Runtime
+{
+  public:
+    Dx100Runtime(dx100::Dx100 &dev, SimMemory &mem);
+
+    // ---- resource allocation -----------------------------------------
+
+    /** Allocate a scratchpad tile (panics when exhausted). */
+    unsigned allocTile();
+    void freeTile(unsigned tile);
+
+    /** Allocate a scalar register. */
+    unsigned allocReg();
+    void freeReg(unsigned reg);
+
+    /** Transfer PTEs for an array region to the accelerator TLB. */
+    void registerRegion(Addr base, Addr size);
+
+    // ---- instructions ---------------------------------------------------
+    // Each returns a wait token. @p e is the calling core's emitter and
+    // @p core its id (doorbell ownership).
+
+    std::uint64_t sld(cpu::OpEmitter &e, int core, DataType t,
+                      Addr base, unsigned td, std::uint64_t start,
+                      std::uint32_t count, std::int32_t stride = 1,
+                      unsigned tc = kNone);
+
+    std::uint64_t sst(cpu::OpEmitter &e, int core, DataType t,
+                      Addr base, unsigned ts, std::uint64_t start,
+                      std::uint32_t count, std::int32_t stride = 1,
+                      unsigned tc = kNone);
+
+    std::uint64_t ild(cpu::OpEmitter &e, int core, DataType t,
+                      Addr base, unsigned td, unsigned ts1,
+                      unsigned tc = kNone);
+
+    std::uint64_t ist(cpu::OpEmitter &e, int core, DataType t,
+                      Addr base, unsigned ts1, unsigned ts2,
+                      unsigned tc = kNone);
+
+    std::uint64_t irmw(cpu::OpEmitter &e, int core, DataType t,
+                       AluOp op, Addr base, unsigned ts1, unsigned ts2,
+                       unsigned tc = kNone);
+
+    std::uint64_t aluv(cpu::OpEmitter &e, int core, DataType t,
+                       AluOp op, unsigned td, unsigned ts1,
+                       unsigned ts2, unsigned tc = kNone);
+
+    /** Tile op scalar: the scalar is written to a register first. */
+    std::uint64_t alus(cpu::OpEmitter &e, int core, DataType t,
+                       AluOp op, unsigned td, unsigned ts1,
+                       std::uint64_t scalar, unsigned tc = kNone);
+
+    /**
+     * Fuse range loops [lo[i], hi[i]) into (outer td1, inner td2)
+     * starting at input range @p startRange. The number of input
+     * ranges consumed is returned through @p consumed (the runtime
+     * mirror computes it so callers can chunk).
+     */
+    std::uint64_t rng(cpu::OpEmitter &e, int core, unsigned td1,
+                      unsigned td2, unsigned ts1, unsigned ts2,
+                      std::uint32_t startRange, std::uint32_t *consumed,
+                      unsigned tc = kNone);
+
+    /** Spin until @p token 's instruction has retired. */
+    void wait(cpu::OpEmitter &e, std::uint64_t token);
+
+    // ---- scratchpad access ----------------------------------------------
+
+    /** Functional value of tile element i (from the mirror). */
+    std::uint64_t spdValue(unsigned tile, unsigned i) const;
+
+    /** Number of valid elements in a tile. */
+    std::uint32_t tileSize(unsigned tile) const;
+
+    /** Simulated address of tile element i (for core loads). */
+    Addr spdAddr(unsigned tile, unsigned i) const;
+
+    /** Write a value into a tile via the mirror + doorbell-free path
+     *  (used only by tests; cores do not write tiles directly). */
+    void pokeTile(unsigned tile, unsigned i, std::uint64_t v);
+    void setTileSize(unsigned tile, std::uint32_t n);
+
+    dx100::Functional &mirror() { return mirror_; }
+    dx100::Dx100 &device() { return dev_; }
+    unsigned tileElems() const { return dev_.config().tileElems; }
+
+    static constexpr unsigned kNone = dx100::kNoOperand;
+
+  private:
+    /** Execute on the mirror, register the payload, emit doorbells. */
+    std::uint64_t issue(cpu::OpEmitter &e, int core,
+                        const dx100::Instruction &instr);
+
+    dx100::ExecPayload buildPayload(const dx100::Instruction &instr);
+
+    dx100::Dx100 &dev_;
+    dx100::Functional mirror_;
+    std::vector<bool> tileFree_;
+    std::vector<bool> regFree_;
+};
+
+} // namespace dx::runtime
+
+#endif // DX_RUNTIME_DX100_API_HH

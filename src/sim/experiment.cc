@@ -1,0 +1,171 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx::sim
+{
+
+ExpOptions
+ExpOptions::parse(int argc, char **argv)
+{
+    ExpOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0) {
+            const std::string v = arg.substr(8);
+            if (v == "small")
+                opt.scale = 0.25;
+            else if (v == "paper")
+                opt.scale = 1.0;
+            else
+                opt.scale = std::stod(v);
+        } else if (arg == "--no-cache") {
+            opt.useCache = false;
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            opt.cacheDir = arg.substr(12);
+        } else {
+            dx_fatal("unknown bench option: ", arg,
+                     " (supported: --scale=<f|small|paper>, "
+                     "--no-cache, --cache-dir=<dir>)");
+        }
+    }
+    return opt;
+}
+
+std::string
+serializeStats(const RunStats &s)
+{
+    std::ostringstream os;
+    os << "cycles " << s.cycles << "\n"
+       << "instructions " << s.instructions << "\n"
+       << "ipc " << s.ipc << "\n"
+       << "bandwidthUtil " << s.bandwidthUtil << "\n"
+       << "rowBufferHitRate " << s.rowBufferHitRate << "\n"
+       << "requestBufferOccupancy " << s.requestBufferOccupancy << "\n"
+       << "dramLines " << s.dramLines << "\n"
+       << "llcMpki " << s.llcMpki << "\n"
+       << "l2Mpki " << s.l2Mpki << "\n"
+       << "coalescingFactor " << s.coalescingFactor << "\n"
+       << "dxInstructions " << s.dxInstructions << "\n";
+    return os.str();
+}
+
+std::optional<RunStats>
+parseStats(const std::string &text)
+{
+    RunStats s;
+    std::istringstream is(text);
+    std::string key;
+    double value;
+    int fields = 0;
+    while (is >> key >> value) {
+        ++fields;
+        if (key == "cycles")
+            s.cycles = static_cast<Cycle>(value);
+        else if (key == "instructions")
+            s.instructions = static_cast<std::uint64_t>(value);
+        else if (key == "ipc")
+            s.ipc = value;
+        else if (key == "bandwidthUtil")
+            s.bandwidthUtil = value;
+        else if (key == "rowBufferHitRate")
+            s.rowBufferHitRate = value;
+        else if (key == "requestBufferOccupancy")
+            s.requestBufferOccupancy = value;
+        else if (key == "dramLines")
+            s.dramLines = static_cast<std::uint64_t>(value);
+        else if (key == "llcMpki")
+            s.llcMpki = value;
+        else if (key == "l2Mpki")
+            s.l2Mpki = value;
+        else if (key == "coalescingFactor")
+            s.coalescingFactor = value;
+        else if (key == "dxInstructions")
+            s.dxInstructions = static_cast<std::uint64_t>(value);
+        else
+            --fields;
+    }
+    if (fields < 8)
+        return std::nullopt;
+    return s;
+}
+
+RunStats
+runWorkloadOnce(wl::Workload &w, const SystemConfig &cfg)
+{
+    System sys(cfg);
+    w.init(sys);
+    std::vector<std::unique_ptr<cpu::Kernel>> kernels;
+    for (unsigned c = 0; c < sys.cores(); ++c) {
+        kernels.push_back(
+            w.makeKernel(sys, c, cfg.dx100Instances > 0));
+        sys.setKernel(c, kernels.back().get());
+    }
+    const RunStats stats = sys.run();
+    if (!w.verify(sys))
+        dx_fatal("workload ", w.name(), " failed verification");
+    return stats;
+}
+
+RunStats
+runWorkload(const wl::WorkloadEntry &entry, const SystemConfig &cfg,
+            const std::string &configTag, const ExpOptions &opt)
+{
+    namespace fs = std::filesystem;
+    std::ostringstream key;
+    key << entry.name << "_" << configTag << "_s" << opt.scale
+        << ".stats";
+    const fs::path path = fs::path(opt.cacheDir) / key.str();
+
+    if (opt.useCache && fs::exists(path)) {
+        std::ifstream in(path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        if (auto cached = parseStats(buf.str())) {
+            std::fprintf(stderr, "  [cached] %s %s\n",
+                         entry.name.c_str(), configTag.c_str());
+            return *cached;
+        }
+    }
+
+    std::fprintf(stderr, "  [run] %s %s ...\n", entry.name.c_str(),
+                 configTag.c_str());
+    auto w = entry.make(wl::Scale{opt.scale});
+    const RunStats stats = runWorkloadOnce(*w, cfg);
+
+    if (opt.useCache) {
+        fs::create_directories(opt.cacheDir);
+        std::ofstream out(path);
+        out << serializeStats(stats);
+    }
+    return stats;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+void
+printBenchHeader(const std::string &title, const ExpOptions &opt)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("scale=%.3g cache=%s\n", opt.scale,
+                opt.useCache ? opt.cacheDir.c_str() : "off");
+    std::printf("==========================================================\n");
+}
+
+} // namespace dx::sim

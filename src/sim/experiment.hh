@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared bench harness: configuration tags, a run-matrix helper and a
+ * small on-disk stats cache so the figure benches that share a run
+ * matrix (Fig. 9/10/11 use the same 24 simulations) do not re-simulate.
+ */
+
+#ifndef DX_SIM_EXPERIMENT_HH
+#define DX_SIM_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace dx::sim
+{
+
+struct ExpOptions
+{
+    double scale = 0.5;      //!< workload scale factor
+    bool useCache = true;    //!< reuse cached results when present
+    std::string cacheDir = "bench_cache";
+
+    /** Parse --scale=<f|small|paper> --no-cache --cache-dir=<d>. */
+    static ExpOptions parse(int argc, char **argv);
+};
+
+/** Serialize / parse RunStats (one "key value" pair per line). */
+std::string serializeStats(const RunStats &s);
+std::optional<RunStats> parseStats(const std::string &text);
+
+/**
+ * Run @p entry on a system built from @p cfg (tagged @p configTag for
+ * the cache), verifying the output. Results are cached per
+ * (workload, tag, scale).
+ */
+RunStats runWorkload(const wl::WorkloadEntry &entry,
+                     const SystemConfig &cfg,
+                     const std::string &configTag,
+                     const ExpOptions &opt);
+
+/** Run a concrete Workload instance without caching. */
+RunStats runWorkloadOnce(wl::Workload &w, const SystemConfig &cfg);
+
+/** Geometric mean helper for "geomean" rows. */
+double geomean(const std::vector<double> &values);
+
+/** Print a header naming the bench and the configuration used. */
+void printBenchHeader(const std::string &title, const ExpOptions &opt);
+
+} // namespace dx::sim
+
+#endif // DX_SIM_EXPERIMENT_HH

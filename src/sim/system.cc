@@ -1,0 +1,301 @@
+#include "sim/system.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx::sim
+{
+
+SystemConfig::SystemConfig()
+{
+    l1.name = "L1D";
+    l1.sizeBytes = 32 * 1024;
+    l1.assoc = 8;
+    l1.latency = 4;
+    l1.mshrs = 16;
+    l1.queueSize = 16;
+    l1.width = 2;
+
+    l2.name = "L2";
+    l2.sizeBytes = 256 * 1024;
+    l2.assoc = 4;
+    l2.latency = 12;
+    l2.mshrs = 32;
+    l2.queueSize = 24;
+    l2.width = 2;
+
+    llc.name = "LLC";
+    llc.sizeBytes = 10 * 1024 * 1024;
+    llc.assoc = 20;
+    llc.latency = 42;
+    llc.mshrs = 256;
+    llc.queueSize = 96;
+    llc.width = 4;
+    llc.inclusiveRoot = true;
+}
+
+SystemConfig
+SystemConfig::baseline(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.cores = cores;
+    // Scale channels with core count (paper Fig. 14: 8 cores, 4 ch).
+    cfg.dram.ctrl.geom.channels = cores <= 4 ? 2 : 4;
+    if (cores > 4)
+        cfg.llc.sizeBytes = 20 * 1024 * 1024;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::withDx100(unsigned cores, unsigned instances)
+{
+    SystemConfig cfg = baseline(cores);
+    cfg.dx100Instances = instances;
+    // Fair comparison: the LLC gives up ~2 MB per instance (paper §5),
+    // rounded so the set count stays a power of two.
+    cfg.llc.sizeBytes = cores <= 4 ? 8 * 1024 * 1024
+                                   : 16 * 1024 * 1024;
+    cfg.llc.assoc = 16;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::withDmp(unsigned cores)
+{
+    SystemConfig cfg = baseline(cores);
+    cfg.dmp = true;
+    return cfg;
+}
+
+std::string
+RunStats::toString() const
+{
+    std::ostringstream os;
+    os << "cycles=" << cycles << " instr=" << instructions
+       << " ipc=" << ipc << " bw=" << bandwidthUtil
+       << " rbh=" << rowBufferHitRate
+       << " occ=" << requestBufferOccupancy << " llcMpki=" << llcMpki
+       << " l2Mpki=" << l2Mpki << " dramLines=" << dramLines;
+    if (dxInstructions)
+        os << " dxInstr=" << dxInstructions
+           << " coalesce=" << coalescingFactor;
+    return os.str();
+}
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    dram_ = std::make_unique<mem::DramSystem>(cfg_.dram);
+    dramPort_ = std::make_unique<cache::DramPort>(*dram_);
+    router_ = std::make_unique<cache::RangeRouter>(*dramPort_);
+    llc_ = std::make_unique<cache::Cache>(cfg_.llc, router_.get());
+
+    for (unsigned i = 0; i < cfg_.cores; ++i) {
+        cache::Cache::Config l2c = cfg_.l2;
+        l2c.name = "L2." + std::to_string(i);
+        l2s_.push_back(std::make_unique<cache::Cache>(l2c, llc_.get()));
+        cache::Cache::Config l1c = cfg_.l1;
+        l1c.name = "L1D." + std::to_string(i);
+        l1s_.push_back(
+            std::make_unique<cache::Cache>(l1c, l2s_.back().get()));
+        llc_->addChild(l1s_.back().get());
+        llc_->addChild(l2s_.back().get());
+
+        if (cfg_.stridePrefetchers) {
+            // DMP needs the full-resolution access stream (per-element
+            // pcs and values), so it replaces the L1 prefetcher; the
+            // L2 stride prefetcher stays in both configurations.
+            l1s_.back()->setPrefetcher(
+                cfg_.dmp ? std::unique_ptr<cache::Prefetcher>(
+                               std::make_unique<
+                                   prefetch::IndirectPrefetcher>(
+                                   cfg_.dmpCfg, &mem_))
+                         : std::unique_ptr<cache::Prefetcher>(
+                               std::make_unique<
+                                   cache::StridePrefetcher>()));
+            l2s_.back()->setPrefetcher(
+                std::make_unique<cache::StridePrefetcher>());
+        }
+
+        cores_.push_back(
+            std::make_unique<cpu::Core>(cfg_.core, static_cast<int>(i),
+                                        l1s_.back().get()));
+    }
+
+    // DX100 instances: cores are multiplexed contiguously.
+    for (unsigned inst = 0; inst < cfg_.dx100Instances; ++inst) {
+        dx100::Dx100Config dxc = cfg_.dx;
+        // Give each instance disjoint MMIO/SPD windows.
+        dxc.mmioBase = cfg_.dx.mmioBase + (Addr{inst} << 28);
+        dxc.spdBase = cfg_.dx.spdBase + (Addr{inst} << 28);
+
+        dx100::CoherencyAgent agent;
+        agent.setLlc(llc_.get());
+        agent.addCache(llc_.get());
+        for (auto &c : l1s_)
+            agent.addCache(c.get());
+        for (auto &c : l2s_)
+            agent.addCache(c.get());
+
+        dxs_.push_back(std::make_unique<dx100::Dx100>(
+            dxc, *dram_, llc_.get(), agent, cfg_.cores));
+        router_->addRange(dxc.spdBase, dxc.spdSize(),
+                          &dxs_.back()->spdPort());
+        runtimes_.push_back(std::make_unique<runtime::Dx100Runtime>(
+            *dxs_.back(), mem_));
+    }
+
+    // Multiple instances uphold the Single-Writer invariant through a
+    // coarse-grained region directory (§6.6).
+    if (dxs_.size() > 1) {
+        regionDir_ = std::make_unique<dx100::RegionDirectory>();
+        for (unsigned inst = 0; inst < dxs_.size(); ++inst) {
+            dxs_[inst]->setRegionDirectory(regionDir_.get(),
+                                           static_cast<int>(inst));
+        }
+    }
+
+    for (unsigned i = 0; i < cfg_.cores; ++i) {
+        if (auto *dev = dx100For(i))
+            cores_[i]->setMmioDevice(dev);
+    }
+}
+
+System::~System() = default;
+
+dx100::Dx100 *
+System::dx100For(unsigned coreId)
+{
+    if (dxs_.empty())
+        return nullptr;
+    const unsigned coresPerInst =
+        (cfg_.cores + static_cast<unsigned>(dxs_.size()) - 1) /
+        static_cast<unsigned>(dxs_.size());
+    return dxs_[coreId / coresPerInst].get();
+}
+
+dx100::Dx100 *
+System::dx100(unsigned instance)
+{
+    return instance < dxs_.size() ? dxs_[instance].get() : nullptr;
+}
+
+runtime::Dx100Runtime *
+System::runtime(unsigned instance)
+{
+    return instance < runtimes_.size() ? runtimes_[instance].get()
+                                       : nullptr;
+}
+
+runtime::Dx100Runtime *
+System::runtimeFor(unsigned coreId)
+{
+    if (runtimes_.empty())
+        return nullptr;
+    const unsigned coresPerInst =
+        (cfg_.cores + static_cast<unsigned>(runtimes_.size()) - 1) /
+        static_cast<unsigned>(runtimes_.size());
+    return runtimes_[coreId / coresPerInst].get();
+}
+
+void
+System::setKernel(unsigned coreId, cpu::Kernel *kernel)
+{
+    cores_[coreId]->setKernel(kernel);
+}
+
+void
+System::warmLlc(Addr base, Addr size)
+{
+    // Warm at most 7/8 of the LLC, preferring the *tail* of the region
+    // (what an LRU cache would retain after the producing phase).
+    const Addr limit = std::min<Addr>(
+        size, cfg_.llc.sizeBytes - cfg_.llc.sizeBytes / 8);
+    const Addr start = base + (size - limit);
+    for (Addr off = 0; off < limit; off += kLineBytes)
+        llc_->warmInsert(start + off);
+}
+
+void
+System::tick()
+{
+    ++now_;
+    for (auto &c : cores_)
+        c->tick();
+    for (auto &c : l1s_)
+        c->tick();
+    for (auto &c : l2s_)
+        c->tick();
+    llc_->tick();
+    for (auto &d : dxs_)
+        d->tick();
+    dram_->tick();
+}
+
+RunStats
+System::run(Cycle maxCycles)
+{
+    auto allDone = [&]() {
+        for (auto &c : cores_) {
+            if (!c->done())
+                return false;
+        }
+        for (auto &d : dxs_) {
+            if (!d->idle())
+                return false;
+        }
+        for (auto &c : l1s_) {
+            if (c->busy())
+                return false;
+        }
+        for (auto &c : l2s_) {
+            if (c->busy())
+                return false;
+        }
+        return !llc_->busy() && dram_->idle();
+    };
+
+    Cycle start = now_;
+    while (!allDone()) {
+        tick();
+        if (now_ - start >= maxCycles)
+            dx_fatal("simulation exceeded cycle limit");
+    }
+
+    RunStats s = collectStats();
+    s.cycles = now_ - start;
+    s.ipc = s.cycles ? static_cast<double>(s.instructions) / s.cycles
+                     : 0.0;
+    return s;
+}
+
+RunStats
+System::collectStats() const
+{
+    RunStats s;
+    s.cycles = now_;
+    for (const auto &c : cores_)
+        s.instructions += c->stats().committedOps.value();
+    s.ipc = now_ ? static_cast<double>(s.instructions) / now_ : 0.0;
+    s.bandwidthUtil = dram_->busUtilization();
+    s.rowBufferHitRate = dram_->rowHitRate();
+    s.requestBufferOccupancy = dram_->queueOccupancy();
+    s.dramLines = dram_->linesTransferred();
+
+    const double kilo = s.instructions / 1000.0;
+    if (kilo > 0) {
+        s.llcMpki = llc_->stats().demandMisses.value() / kilo;
+        std::uint64_t l2m = 0;
+        for (const auto &c : l2s_)
+            l2m += c->stats().demandMisses.value();
+        s.l2Mpki = l2m / kilo;
+    }
+
+    for (const auto &d : dxs_) {
+        s.dxInstructions += d->stats().instructionsRetired.value();
+        s.coalescingFactor = d->stats().coalescingFactor();
+    }
+    return s;
+}
+
+} // namespace dx::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Full-system assembly: cores + private L1/L2 + shared inclusive LLC +
+ * DRAM, optionally with DX100 instance(s) and/or the DMP indirect
+ * prefetcher. Defaults follow paper Table 3.
+ */
+
+#ifndef DX_SIM_SYSTEM_HH
+#define DX_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mem_port.hh"
+#include "common/sim_memory.hh"
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "dx100/dx100.hh"
+#include "mem/dram_system.hh"
+#include "prefetch/indirect_prefetcher.hh"
+#include "runtime/dx100_api.hh"
+
+namespace dx::sim
+{
+
+struct SystemConfig
+{
+    unsigned cores = 4;
+    cpu::Core::Config core;
+
+    cache::Cache::Config l1;
+    cache::Cache::Config l2;
+    cache::Cache::Config llc;
+    bool stridePrefetchers = true;
+
+    mem::DramSystem::Config dram;
+
+    /** Number of DX100 instances (0 = baseline system). */
+    unsigned dx100Instances = 0;
+    dx100::Dx100Config dx;
+
+    /** Attach a DMP-style indirect prefetcher at each core's L2. */
+    bool dmp = false;
+    prefetch::IndirectPrefetcher::Config dmpCfg;
+
+    SystemConfig();
+
+    /** Baseline (Table 3): 10 MB LLC, no accelerator. */
+    static SystemConfig baseline(unsigned cores = 4);
+
+    /** DX100 system (Table 3): 8 MB LLC + accelerator(s). */
+    static SystemConfig withDx100(unsigned cores = 4,
+                                  unsigned instances = 1);
+
+    /** Baseline plus the DMP indirect prefetcher. */
+    static SystemConfig withDmp(unsigned cores = 4);
+};
+
+/** Flat summary of a finished run (feeds EXPERIMENTS.md tables). */
+struct RunStats
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;  //!< committed, all cores
+    double ipc = 0.0;
+    double bandwidthUtil = 0.0;      //!< DRAM data-bus utilization
+    double rowBufferHitRate = 0.0;
+    double requestBufferOccupancy = 0.0;
+    std::uint64_t dramLines = 0;
+    double llcMpki = 0.0;            //!< LLC demand misses / kilo-instr
+    double l2Mpki = 0.0;
+    double coalescingFactor = 0.0;   //!< DX100 words per DRAM column
+    std::uint64_t dxInstructions = 0;
+
+    std::string toString() const;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    SimMemory &memory() { return mem_; }
+    SimAllocator &allocator() { return alloc_; }
+
+    unsigned cores() const { return cfg_.cores; }
+    cpu::Core &core(unsigned i) { return *cores_[i]; }
+    cache::Cache &l1(unsigned i) { return *l1s_[i]; }
+    cache::Cache &l2(unsigned i) { return *l2s_[i]; }
+    cache::Cache &llc() { return *llc_; }
+    mem::DramSystem &dram() { return *dram_; }
+
+    /** DX100 instance serving core @p coreId (core multiplexing). */
+    dx100::Dx100 *dx100For(unsigned coreId);
+    dx100::Dx100 *dx100(unsigned instance = 0);
+    runtime::Dx100Runtime *runtime(unsigned instance = 0);
+    runtime::Dx100Runtime *runtimeFor(unsigned coreId);
+
+    void setKernel(unsigned coreId, cpu::Kernel *kernel);
+
+    /**
+     * Warm the LLC with a region that is architecturally resident when
+     * the region of interest starts (e.g. a vector the cores produced
+     * in the previous solver iteration). Stops at LLC capacity.
+     */
+    void warmLlc(Addr base, Addr size);
+
+    /** Tick every component once. */
+    void tick();
+
+    /** Run until all cores are done and the memory system drains. */
+    RunStats run(Cycle maxCycles = Cycle{4} << 30);
+
+    /** Collect statistics without running further. */
+    RunStats collectStats() const;
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    SimMemory mem_;
+    SimAllocator alloc_;
+
+    std::unique_ptr<mem::DramSystem> dram_;
+    std::unique_ptr<cache::DramPort> dramPort_;
+    std::unique_ptr<cache::RangeRouter> router_;
+    std::unique_ptr<cache::Cache> llc_;
+    std::vector<std::unique_ptr<cache::Cache>> l2s_;
+    std::vector<std::unique_ptr<cache::Cache>> l1s_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<dx100::Dx100>> dxs_;
+    std::vector<std::unique_ptr<runtime::Dx100Runtime>> runtimes_;
+    std::unique_ptr<dx100::RegionDirectory> regionDir_;
+
+    Cycle now_ = 0;
+};
+
+} // namespace dx::sim
+
+#endif // DX_SIM_SYSTEM_HH

@@ -1,0 +1,273 @@
+#include "workloads/data.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dx::wl
+{
+
+CsrGraph
+makeUniformGraph(std::uint32_t nodes, unsigned degree,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    CsrGraph g;
+    g.nodes = nodes;
+    g.rowPtr.resize(nodes + 1);
+
+    // Degree varies uniformly in [degree/2, 3*degree/2].
+    std::vector<std::uint32_t> deg(nodes);
+    for (auto &d : deg) {
+        d = static_cast<std::uint32_t>(
+            rng.range(degree / 2, degree + degree / 2 + 1));
+    }
+    g.rowPtr[0] = 0;
+    for (std::uint32_t v = 0; v < nodes; ++v)
+        g.rowPtr[v + 1] = g.rowPtr[v] + deg[v];
+
+    g.col.resize(g.rowPtr.back());
+    for (auto &c : g.col)
+        c = static_cast<std::uint32_t>(rng.below(nodes));
+    return g;
+}
+
+CsrMatrix
+makeSparseMatrix(std::uint32_t rows, std::uint32_t cols,
+                 unsigned nnzPerRow, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.resize(rows + 1);
+    m.rowPtr[0] = 0;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        const auto nnz = static_cast<std::uint32_t>(
+            rng.range(nnzPerRow / 2, nnzPerRow + nnzPerRow / 2 + 1));
+        m.rowPtr[r + 1] = m.rowPtr[r] + nnz;
+    }
+    m.colIdx.resize(m.rowPtr.back());
+    m.values.resize(m.rowPtr.back());
+    for (std::size_t i = 0; i < m.colIdx.size(); ++i) {
+        m.colIdx[i] = static_cast<std::uint32_t>(rng.below(cols));
+        m.values[i] = rng.real() * 2.0 - 1.0;
+    }
+    return m;
+}
+
+std::vector<std::uint32_t>
+makeMeshMap(std::uint32_t n, std::uint32_t spread, std::uint64_t seed)
+{
+    // Identity-based mapping with symmetric jitter of +-spread,
+    // yielding an average index distance around spread/2 (limited
+    // spatial locality, like the paper's UME dataset).
+    Rng rng(seed);
+    std::vector<std::uint32_t> map(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::int64_t jitter =
+            static_cast<std::int64_t>(rng.below(2 * spread + 1)) -
+            spread;
+        std::int64_t t = static_cast<std::int64_t>(i) + jitter;
+        if (t < 0)
+            t += n;
+        map[i] = static_cast<std::uint32_t>(t % n);
+    }
+    return map;
+}
+
+MeshRanges
+makeMeshRanges(std::uint32_t outer, unsigned minLen, unsigned maxLen,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    MeshRanges r;
+    r.lo.resize(outer);
+    r.hi.resize(outer);
+    std::uint32_t pos = 0;
+    for (std::uint32_t i = 0; i < outer; ++i) {
+        const auto len = static_cast<std::uint32_t>(
+            rng.range(minLen, maxLen + 1));
+        r.lo[i] = pos;
+        pos += len;
+        r.hi[i] = pos;
+    }
+    r.innerTotal = pos;
+    return r;
+}
+
+std::vector<std::uint32_t>
+makeXragePattern(std::uint32_t n, std::uint32_t domain,
+                 std::uint64_t seed)
+{
+    // AMR-block sweep: runs of quasi-strided indices within a block,
+    // large jumps between blocks, with ~10% of blocks revisited.
+    Rng rng(seed);
+    std::vector<std::uint32_t> pattern;
+    pattern.reserve(n);
+
+    std::vector<std::uint32_t> recentBlocks;
+    while (pattern.size() < n) {
+        std::uint32_t blockBase;
+        if (!recentBlocks.empty() && rng.below(50) == 0) {
+            blockBase = recentBlocks[rng.below(recentBlocks.size())];
+        } else {
+            blockBase = static_cast<std::uint32_t>(
+                rng.below(domain > 4096 ? domain - 4096 : 1));
+            recentBlocks.push_back(blockBase);
+            if (recentBlocks.size() > 4)
+                recentBlocks.erase(recentBlocks.begin());
+        }
+        const auto runLen = static_cast<std::uint32_t>(
+            rng.range(8, 64));
+        const auto stride = static_cast<std::uint32_t>(
+            rng.range(1, 9));
+        std::uint32_t idx = blockBase;
+        for (std::uint32_t k = 0;
+             k < runLen && pattern.size() < n; ++k) {
+            pattern.push_back(idx % domain);
+            idx += stride;
+            // frequent intra-block gaps (refined subcells)
+            if (rng.below(8) == 0)
+                idx += static_cast<std::uint32_t>(rng.below(256));
+        }
+    }
+    return pattern;
+}
+
+std::vector<std::uint32_t>
+makeTupleKeys(std::uint32_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> keys(n);
+    for (auto &k : keys)
+        k = static_cast<std::uint32_t>(rng.next());
+    return keys;
+}
+
+std::vector<std::uint32_t>
+makeDramPattern(std::uint32_t n, const DramPatternParams &p,
+                const mem::AddressMap &map, std::uint64_t seed)
+{
+    (void)seed; // fully deterministic construction
+    const mem::DramGeometry &g = map.geometry();
+    const unsigned banks = g.totalBanks();
+    const std::uint32_t perBank = n / banks;
+    dx_assert(perBank * banks == n, "n must divide across banks");
+    dx_assert(perBank <= p.rowsPerBank * g.linesPerRow(),
+              "pattern exceeds row capacity");
+
+    struct BankState
+    {
+        std::uint16_t ch, bg, ba;
+        unsigned row = 0;
+        std::vector<std::uint32_t> colPos; //!< per-row column cursor
+        int err = 0;
+        std::uint32_t emitted = 0;
+        bool started = false;
+    };
+
+    // Group banks: interleaved dimensions rotate inside one group;
+    // non-interleaved dimensions become sequential outer groups.
+    std::vector<std::vector<BankState>> groups;
+    const unsigned chGroups = p.channelInterleave ? 1 : g.channels;
+    // Without bank-group interleaving, consecutive accesses stay on a
+    // single *bank* for a whole burst (banks are sub-resources of the
+    // group), which is what serializes the baseline on tRC/tCCD_L.
+    const unsigned bgGroups = p.bankGroupInterleave
+                                  ? 1
+                                  : g.bankGroups * g.banksPerGroup;
+    groups.resize(chGroups * bgGroups);
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        for (unsigned bg = 0; bg < g.bankGroups; ++bg) {
+            for (unsigned ba = 0; ba < g.banksPerGroup; ++ba) {
+                const unsigned gi =
+                    (p.channelInterleave ? 0 : ch) * bgGroups +
+                    (p.bankGroupInterleave
+                         ? 0
+                         : bg * g.banksPerGroup + ba);
+                BankState b;
+                b.ch = static_cast<std::uint16_t>(ch);
+                b.bg = static_cast<std::uint16_t>(bg);
+                b.ba = static_cast<std::uint16_t>(ba);
+                b.colPos.assign(p.rowsPerBank, 0);
+                groups[gi].push_back(b);
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> out;
+    out.reserve(n);
+
+    // Non-interleaved dimensions are emitted in short bursts: within a
+    // burst, consecutive accesses stay in one channel / bank group
+    // (defeating the memory controller's interleaving window), but a
+    // DX100 tile still spans the whole DRAM system.
+    constexpr unsigned kBurst = 64;
+    bool anyRemaining = true;
+    std::vector<std::size_t> rrOfGroup(groups.size(), 0);
+    std::size_t groupCursor = 0;
+    while (anyRemaining) {
+        anyRemaining = false;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            auto &group = groups[(groupCursor + gi) % groups.size()];
+            auto &rr = rrOfGroup[(groupCursor + gi) % groups.size()];
+            unsigned emittedInBurst = 0;
+            bool groupRemaining = true;
+            while (groupRemaining && emittedInBurst < kBurst) {
+                groupRemaining = false;
+                for (std::size_t k = 0;
+                     k < group.size() && emittedInBurst < kBurst;
+                     ++k) {
+                BankState &b = group[(rr + k) % group.size()];
+                if (b.emitted >= perBank)
+                    continue;
+                groupRemaining = true;
+                anyRemaining = true;
+                ++emittedInBurst;
+
+                // Row policy: Bresenham accumulator approximates the
+                // requested hit percentage; a "hit" consumes the next
+                // column of the current row, a "miss" moves to the
+                // next row (cyclically).
+                bool stay = false;
+                if (b.started) {
+                    b.err += static_cast<int>(p.rbhPercent);
+                    if (b.err >= 100) {
+                        b.err -= 100;
+                        stay = true;
+                    }
+                }
+                if (!b.started || !stay ||
+                    b.colPos[b.row] >= g.linesPerRow()) {
+                    // advance to the next row with room
+                    for (unsigned t = 0; t < p.rowsPerBank; ++t) {
+                        b.row = (b.row + 1) % p.rowsPerBank;
+                        if (b.colPos[b.row] < g.linesPerRow())
+                            break;
+                    }
+                    b.started = true;
+                }
+
+                mem::DramCoord c;
+                c.channel = b.ch;
+                c.bankGroup = b.bg;
+                c.bank = b.ba;
+                c.rank = 0;
+                c.row = b.row;
+                c.column = b.colPos[b.row]++;
+                const Addr addr = map.compose(c);
+                out.push_back(static_cast<std::uint32_t>(addr / 4));
+                ++b.emitted;
+                }
+                ++rr;
+            }
+        }
+        ++groupCursor;
+    }
+    dx_assert(out.size() == n, "pattern generation under-produced");
+    return out;
+}
+
+} // namespace dx::wl

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic input generators for the evaluation workloads: uniform
+ * random graphs in CSR form, sparse matrices, unstructured-mesh
+ * connectivity, join relations, and the synthetic xRAGE-like Spatter
+ * pattern (substitute for the proprietary trace; see DESIGN.md).
+ */
+
+#ifndef DX_WORKLOADS_DATA_HH
+#define DX_WORKLOADS_DATA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+
+namespace dx::wl
+{
+
+/** CSR graph: rowPtr has n+1 entries, col has rowPtr[n] entries. */
+struct CsrGraph
+{
+    std::uint32_t nodes = 0;
+    std::vector<std::uint32_t> rowPtr;
+    std::vector<std::uint32_t> col;
+
+    std::uint32_t edges() const { return rowPtr.empty() ? 0
+        : rowPtr.back(); }
+};
+
+/** Uniform random graph (GAP "uniform", avg degree ~degree). */
+CsrGraph makeUniformGraph(std::uint32_t nodes, unsigned degree,
+                          std::uint64_t seed);
+
+/** Random CSR sparse matrix with ~nnzPerRow entries per row. */
+struct CsrMatrix
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> rowPtr;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<double> values;
+};
+
+CsrMatrix makeSparseMatrix(std::uint32_t rows, std::uint32_t cols,
+                           unsigned nnzPerRow, std::uint64_t seed);
+
+/**
+ * Unstructured-mesh style indirection map: a permutation-ish mapping
+ * with large average index distance (the paper measures |i - B[i]| of
+ * about 85K elements on the UME dataset), modelling zone->point and
+ * point->zone connectivity.
+ */
+std::vector<std::uint32_t> makeMeshMap(std::uint32_t n,
+                                       std::uint32_t spread,
+                                       std::uint64_t seed);
+
+/**
+ * Mesh range structure for the *I kernels: outer entities own short
+ * ranges (minLen..maxLen) of corner indices (like zone->corner lists).
+ */
+struct MeshRanges
+{
+    std::vector<std::uint32_t> lo; //!< H[K[i]]
+    std::vector<std::uint32_t> hi; //!< H[K[i]+1]
+    std::uint32_t innerTotal = 0;
+};
+
+MeshRanges makeMeshRanges(std::uint32_t outer, unsigned minLen,
+                          unsigned maxLen, std::uint64_t seed);
+
+/**
+ * Synthetic xRAGE-like Spatter pattern: AMR block sweeps — runs of
+ * quasi-strided indices within a block, with large jumps between
+ * blocks and occasional revisits.
+ */
+std::vector<std::uint32_t> makeXragePattern(std::uint32_t n,
+                                            std::uint32_t domain,
+                                            std::uint64_t seed);
+
+/** Join relation: tuples with uniformly distributed 32-bit keys. */
+std::vector<std::uint32_t> makeTupleKeys(std::uint32_t n,
+                                         std::uint64_t seed);
+
+/**
+ * Index pattern with controlled DRAM behaviour for the all-miss
+ * microbenchmark (Fig. 8b/c): unique word indices spread over
+ * `rowsPerBank` rows of every bank, then ordered to achieve a target
+ * row-buffer-hit fraction and channel / bank-group interleaving.
+ */
+struct DramPatternParams
+{
+    unsigned rbhPercent = 100; //!< 0, 25, 50, 75 or 100
+    bool channelInterleave = true;
+    bool bankGroupInterleave = true;
+    unsigned rowsPerBank = 16;
+};
+
+std::vector<std::uint32_t>
+makeDramPattern(std::uint32_t n, const DramPatternParams &p,
+                const mem::AddressMap &map, std::uint64_t seed);
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_DATA_HH

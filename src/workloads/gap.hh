@@ -1,0 +1,121 @@
+/**
+ * @file
+ * GAP benchmark suite kernels (paper §5): PageRank (PR), bottom-up
+ * Breadth-First Search (BFS), and Betweenness Centrality (BC), each
+ * reduced to its dominant iteration on a uniform random graph.
+ */
+
+#ifndef DX_WORKLOADS_GAP_HH
+#define DX_WORKLOADS_GAP_HH
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+/**
+ * PR: one push-style iteration — for every vertex u, scatter its
+ * contribution P[u] to newScore[E[j]] over u's out-edges (RMW A[B[j]],
+ * direct range loop). Contributions are integer-valued (fixed-point
+ * scores) so the scattered accumulation is order-independent.
+ */
+class PageRank : public Workload
+{
+  public:
+    explicit PageRank(Scale s);
+
+    std::string name() const override { return "PR"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    CsrGraph g_;
+    Addr rowPtr_ = 0, col_ = 0, contrib_ = 0, newScore_ = 0,
+         edgeVal_ = 0;
+};
+
+/**
+ * BFS: one bottom-up step at depth d — scan the unvisited list U; a
+ * vertex joins the frontier if any neighbour sits at depth d-1
+ * (conditional ST A[B[j]], indirect range loop H[K[i]]..H[K[i]+1]).
+ */
+class BfsBottomUp : public Workload
+{
+  public:
+    explicit BfsBottomUp(Scale s);
+
+    std::string name() const override { return "BFS"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    CsrGraph g_;
+    std::vector<std::uint32_t> hostDepth_;
+    std::vector<std::uint32_t> unvisited_;
+    std::uint32_t step_ = 2; //!< early step: huge unvisited list, few
+                             //!< frontier hits (conditional-store heavy)
+    Addr rowPtr_ = 0, col_ = 0, depth_ = 0, parent_ = 0, u_ = 0;
+};
+
+/**
+ * Extension (paper footnote 1): one *top-down* BFS step — for every
+ * frontier vertex u, conditionally claim undiscovered neighbours
+ * (ST A[B[j]] if D[E[j]] == unset, direct range loop over the
+ * frontier's adjacency). Not part of the 12 evaluated kernels.
+ */
+class BfsTopDown : public Workload
+{
+  public:
+    explicit BfsTopDown(Scale s);
+
+    std::string name() const override { return "BFS-TD"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    CsrGraph g_;
+    std::vector<std::uint32_t> hostDepth_;
+    std::vector<std::uint32_t> frontier_; //!< vertices at depth d-1
+    std::uint32_t step_ = 0;              //!< chosen expansion step
+    Addr rowPtr_ = 0, col_ = 0, depth_ = 0, parent_ = 0, f_ = 0;
+};
+
+/**
+ * BC: one dependency-accumulation level of Brandes' algorithm —
+ * conditional RMW delta[E[j]] += sigma[E[j]] * f[w] for vertices w of
+ * the current level (indirect range loop, fixed-point deltas).
+ */
+class BetweennessCentrality : public Workload
+{
+  public:
+    explicit BetweennessCentrality(Scale s);
+
+    std::string name() const override { return "BC"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    CsrGraph g_;
+    std::vector<std::uint32_t> hostDepth_;
+    std::vector<std::uint32_t> level_; //!< W: vertices at depth d
+    std::uint32_t d_ = 2; //!< replaced by the most populous BFS level
+    Addr rowPtr_ = 0, col_ = 0, depth_ = 0, sigma_ = 0, delta_ = 0,
+         f_ = 0, w_ = 0;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_GAP_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hash-Join kernels (paper §5): the histogram-based parallel radix
+ * partitioning (PRH) and the bucket-chaining probe (PRO).
+ */
+
+#ifndef DX_WORKLOADS_HASHJOIN_HH
+#define DX_WORKLOADS_HASHJOIN_HH
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+/**
+ * PRH: radix partitioning with a per-core histogram. The core computes
+ * partition cursors (hot, cache-resident); the scattered tuple store
+ * out[B[f(C[i])] + cursor] is the memory-bound indirect pattern that
+ * DX100 offloads (ST A[B[f(C[i])]], f = (C[i] & mask) >> shift).
+ */
+class RadixPartition : public Workload
+{
+  public:
+    explicit RadixPartition(Scale s);
+
+    std::string name() const override { return "PRH"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+    static constexpr unsigned kRadixBits = 15;
+    static constexpr unsigned kShift = 8;
+
+  private:
+    std::size_t n_;
+    std::vector<std::uint32_t> keys_;
+    Addr c_ = 0, out_ = 0, dests_ = 0;
+    std::vector<std::vector<std::uint32_t>> coreBase_; //!< per core
+};
+
+/**
+ * PRO: bucket-chaining probe. Chains are built on the host (the build
+ * has a loop-carried dependence); the kernel probes in bulk —
+ * idx = head[f(C[i])], then walk next[] comparing keys — which DX100
+ * executes as chained conditional ILDs across a whole tile of tuples.
+ */
+class BucketChainProbe : public Workload
+{
+  public:
+    explicit BucketChainProbe(Scale s);
+
+    std::string name() const override { return "PRO"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    std::size_t nBuild_;
+    std::size_t nProbe_;
+    std::size_t buckets_;
+    std::vector<std::uint32_t> buildKeys_;
+    std::vector<std::uint32_t> probeKeys_;
+    std::vector<std::uint32_t> head_; //!< idx+1, 0 = empty
+    std::vector<std::uint32_t> next_;
+    unsigned maxChain_ = 0;
+    Addr cProbe_ = 0, headA_ = 0, nextA_ = 0, keysA_ = 0, out_ = 0;
+
+    std::uint32_t hashOf(std::uint32_t key) const;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_HASHJOIN_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Small kernel-building helpers shared by the workload implementations.
+ */
+
+#ifndef DX_WORKLOADS_KERNELS_HH
+#define DX_WORKLOADS_KERNELS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "cpu/microop.hh"
+#include "runtime/dx100_api.hh"
+
+namespace dx::wl
+{
+
+/**
+ * A kernel that walks an index range, emitting one iteration per
+ * emitChunk() call. Subclasses implement emitIteration().
+ */
+class LoopKernel : public cpu::Kernel
+{
+  public:
+    LoopKernel(std::size_t begin, std::size_t end)
+        : i_(begin), end_(end)
+    {}
+
+    bool more() const override { return i_ < end_; }
+
+    void
+    emitChunk(cpu::OpEmitter &e) override
+    {
+        emitIteration(e, i_);
+        ++i_;
+    }
+
+  protected:
+    virtual void emitIteration(cpu::OpEmitter &e, std::size_t i) = 0;
+
+    std::size_t i_;
+    std::size_t end_;
+};
+
+/**
+ * Double-buffered tile pipeline for DX100 kernels.
+ *
+ * Walks [begin, end) in tile-sized chunks. For each chunk, emitTile
+ * issues the DX100 instruction group into buffer set `buf` and returns
+ * the last instruction's wait token; before a buffer set is reused the
+ * kernel waits on that token and (optionally) emits the per-element
+ * core work that consumes the tile (consumeTile). This is the software
+ * pipelining the paper's compiler produces: tile t+1's stream loads
+ * overlap tile t's indirect accesses.
+ */
+class TiledDxKernel : public cpu::Kernel
+{
+  public:
+    using EmitTileFn = std::function<std::uint64_t(
+        cpu::OpEmitter &, unsigned buf, std::size_t begin,
+        std::uint32_t count)>;
+    using ConsumeTileFn = std::function<void(
+        cpu::OpEmitter &, unsigned buf, std::size_t begin,
+        std::uint32_t count)>;
+
+    TiledDxKernel(runtime::Dx100Runtime &rt, std::size_t begin,
+                  std::size_t end, std::uint32_t tileElems,
+                  EmitTileFn emitTile, ConsumeTileFn consumeTile = {},
+                  unsigned buffers = 2)
+        : rt_(rt), pos_(begin), end_(end), tileElems_(tileElems),
+          buffers_(buffers), emitTile_(std::move(emitTile)),
+          consumeTile_(std::move(consumeTile))
+    {}
+
+    bool
+    more() const override
+    {
+        return pos_ < end_ || !pending_.empty();
+    }
+
+    void
+    emitChunk(cpu::OpEmitter &e) override
+    {
+        if (pos_ < end_) {
+            const unsigned buf = tileNo_ % buffers_;
+            if (pending_.size() >= buffers_)
+                drainOldest(e);
+            const auto count = static_cast<std::uint32_t>(
+                std::min<std::size_t>(tileElems_, end_ - pos_));
+            const std::uint64_t token = emitTile_(e, buf, pos_, count);
+            pending_.push_back({token, buf, pos_, count});
+            pos_ += count;
+            ++tileNo_;
+            return;
+        }
+        drainOldest(e);
+    }
+
+  private:
+    struct Pending
+    {
+        std::uint64_t token;
+        unsigned buf;
+        std::size_t begin;
+        std::uint32_t count;
+    };
+
+    void
+    drainOldest(cpu::OpEmitter &e)
+    {
+        if (pending_.empty())
+            return;
+        const Pending p = pending_.front();
+        pending_.pop_front();
+        rt_.wait(e, p.token);
+        if (consumeTile_)
+            consumeTile_(e, p.buf, p.begin, p.count);
+    }
+
+    runtime::Dx100Runtime &rt_;
+    std::size_t pos_;
+    std::size_t end_;
+    std::uint32_t tileElems_;
+    unsigned buffers_;
+    unsigned tileNo_ = 0;
+    EmitTileFn emitTile_;
+    ConsumeTileFn consumeTile_;
+    std::deque<Pending> pending_;
+};
+
+/** Static-instruction ids used for prefetcher training. Each kernel
+ *  assigns small distinct pc values starting at these bases so index
+ *  streams and indirect streams are distinguishable. */
+namespace pc
+{
+constexpr std::uint16_t kIndex = 1;   //!< index array loads (B[i])
+constexpr std::uint16_t kValue = 2;   //!< value array loads (C[i])
+constexpr std::uint16_t kTarget = 3;  //!< indirect target (A[B[i]])
+constexpr std::uint16_t kOut = 4;     //!< output stores
+constexpr std::uint16_t kSpd = 5;     //!< scratchpad consumption loads
+constexpr std::uint16_t kAux = 6;     //!< further streams
+} // namespace pc
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_KERNELS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Microbenchmarks for Fig. 8: Gather (SPD / Full), RMW (atomic /
+ * non-atomic baselines), Scatter, and the all-miss Gather-Full with a
+ * controlled DRAM index pattern.
+ */
+
+#ifndef DX_WORKLOADS_MICRO_HH
+#define DX_WORKLOADS_MICRO_HH
+
+#include <memory>
+#include <optional>
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+/** C[i] = A[B[i]]. */
+class GatherMicro : public Workload
+{
+  public:
+    enum class Mode
+    {
+        kSpd,  //!< offload gather only; core reads packed data from SPD
+        kFull, //!< offload the whole kernel (SLD + ILD + SST)
+    };
+
+    /**
+     * @param n elements
+     * @param pattern custom indices (all-miss experiments); if absent,
+     *        B[i] = i (the all-hit streaming distribution).
+     */
+    GatherMicro(Mode mode, std::size_t n,
+                std::optional<DramPatternParams> pattern = std::nullopt);
+
+    std::string name() const override;
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    Mode mode_;
+    std::size_t n_;
+    std::optional<DramPatternParams> pattern_;
+    Addr a_ = 0, b_ = 0, c_ = 0;
+    std::size_t domain_ = 0; //!< elements in A
+};
+
+/** A[B[i]] += C[i]. */
+class RmwMicro : public Workload
+{
+  public:
+    /** @param atomicBaseline locked RMW ops vs plain load+add+store. */
+    RmwMicro(std::size_t n, bool atomicBaseline);
+
+    std::string name() const override;
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    std::size_t n_;
+    bool atomic_;
+    Addr a_ = 0, b_ = 0, c_ = 0;
+    std::size_t domain_ = 0;
+};
+
+/** A[B[i]] = C[i] (indices unique: a permutation scatter). */
+class ScatterMicro : public Workload
+{
+  public:
+    /** @param streaming B[i] = i (the paper's all-hit distribution);
+     *         otherwise a random permutation. */
+    explicit ScatterMicro(std::size_t n, bool streaming = false);
+
+    std::string name() const override;
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    std::size_t n_;
+    bool streaming_;
+    Addr a_ = 0, b_ = 0, c_ = 0;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_MICRO_HH

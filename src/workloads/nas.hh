@@ -1,0 +1,59 @@
+/**
+ * @file
+ * NAS parallel benchmark kernels (paper §5): Integer Sort (IS) and
+ * Conjugate Gradient (CG).
+ *
+ * IS is the bucket-histogram phase: A[K[i]] += 1 over random keys —
+ * atomic RMWs in the baseline, IRMW on DX100.
+ * CG is the SpMV at the heart of the solver: y = M*x with CSR storage —
+ * the indirect load x[colIdx[j]] dominates; DX100 gathers it into the
+ * scratchpad while the core keeps the floating-point reduction.
+ */
+
+#ifndef DX_WORKLOADS_NAS_HH
+#define DX_WORKLOADS_NAS_HH
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+class IntegerSort : public Workload
+{
+  public:
+    explicit IntegerSort(Scale s);
+
+    std::string name() const override { return "IS"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    std::size_t keys_;
+    std::size_t buckets_;
+    Addr k_ = 0, a_ = 0, ones_ = 0;
+};
+
+class ConjugateGradient : public Workload
+{
+  public:
+    explicit ConjugateGradient(Scale s);
+
+    std::string name() const override { return "CG"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    CsrMatrix m_;
+    Addr rowPtr_ = 0, colIdx_ = 0, vals_ = 0, x_ = 0, y_ = 0;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_NAS_HH

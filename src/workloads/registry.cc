@@ -1,0 +1,82 @@
+#include "workloads/workload.hh"
+
+#include "workloads/gap.hh"
+#include "workloads/hashjoin.hh"
+#include "workloads/nas.hh"
+#include "workloads/spatter.hh"
+#include "workloads/ume.hh"
+
+namespace dx::wl
+{
+
+const std::vector<WorkloadEntry> &
+paperWorkloads()
+{
+    static const std::vector<WorkloadEntry> entries = {
+        {"IS", "NAS",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<IntegerSort>(s);
+         }},
+        {"CG", "NAS",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<ConjugateGradient>(s);
+         }},
+        {"BFS", "GAP",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<BfsBottomUp>(s);
+         }},
+        {"BC", "GAP",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<BetweennessCentrality>(s);
+         }},
+        {"PR", "GAP",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<PageRank>(s);
+         }},
+        {"PRH", "HashJoin",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<RadixPartition>(s);
+         }},
+        {"PRO", "HashJoin",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<BucketChainProbe>(s);
+         }},
+        {"GZZ", "UME",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<UmeGradient>(
+                 UmeGradient::Variant::kZone, s);
+         }},
+        {"GZZI", "UME",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<UmeGradientIndirect>(
+                 UmeGradientIndirect::Variant::kZone, s);
+         }},
+        {"GZP", "UME",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<UmeGradient>(
+                 UmeGradient::Variant::kPoint, s);
+         }},
+        {"GZPI", "UME",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<UmeGradientIndirect>(
+                 UmeGradientIndirect::Variant::kPoint, s);
+         }},
+        {"XRAGE", "Spatter",
+         [](Scale s) -> std::unique_ptr<Workload> {
+             return std::make_unique<SpatterXrage>(s);
+         }},
+    };
+    return entries;
+}
+
+const WorkloadEntry *
+findWorkload(const std::string &name)
+{
+    for (const auto &e : paperWorkloads()) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace dx::wl

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Spatter XRAGE kernel (paper §5): bulk scatter A[B[i]] = v with an
+ * xRAGE-like AMR index pattern (synthetic substitute for the
+ * proprietary trace; see DESIGN.md).
+ */
+
+#ifndef DX_WORKLOADS_SPATTER_HH
+#define DX_WORKLOADS_SPATTER_HH
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+class SpatterXrage : public Workload
+{
+  public:
+    explicit SpatterXrage(Scale s);
+
+    std::string name() const override { return "XRAGE"; }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    std::size_t n_;
+    std::size_t domain_;
+    std::vector<std::uint32_t> pattern_;
+    Addr a_ = 0, b_ = 0, v_ = 0;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_SPATTER_HH

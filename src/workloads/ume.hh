@@ -1,0 +1,82 @@
+/**
+ * @file
+ * UME (Unstructured Mesh Explorations) gradient kernels (paper §5):
+ * GZZ, GZP (conditional single-loop RMW through a mesh indirection
+ * map) and GZZI, GZPI (conditional two-level gather over indirect
+ * range loops).
+ */
+
+#ifndef DX_WORKLOADS_UME_HH
+#define DX_WORKLOADS_UME_HH
+
+#include "workloads/data.hh"
+#include "workloads/workload.hh"
+
+namespace dx::wl
+{
+
+/** GZZ / GZP: A[B[i]] += val[i] if D[i] >= F (f64 gradients). */
+class UmeGradient : public Workload
+{
+  public:
+    enum class Variant
+    {
+        kZone,  //!< GZZ: zone-centred map
+        kPoint, //!< GZP: point-centred map (different spread)
+    };
+
+    UmeGradient(Variant v, Scale s);
+
+    std::string name() const override
+    {
+        return variant_ == Variant::kZone ? "GZZ" : "GZP";
+    }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    Variant variant_;
+    std::size_t n_;
+    std::vector<std::uint32_t> map_;
+    Addr a_ = 0, b_ = 0, d_ = 0, val_ = 0;
+    double threshold_ = 0.3;
+};
+
+/** GZZI / GZPI: sum of A[B[C[j]]] if D[j] >= F, j in indirect ranges. */
+class UmeGradientIndirect : public Workload
+{
+  public:
+    enum class Variant
+    {
+        kZone,  //!< GZZI
+        kPoint, //!< GZPI
+    };
+
+    UmeGradientIndirect(Variant v, Scale s);
+
+    std::string name() const override
+    {
+        return variant_ == Variant::kZone ? "GZZI" : "GZPI";
+    }
+    void init(sim::System &sys) override;
+    std::unique_ptr<cpu::Kernel> makeKernel(sim::System &sys,
+                                            unsigned core,
+                                            bool dx100) override;
+    bool verify(sim::System &sys) override;
+
+  private:
+    Variant variant_;
+    std::size_t outer_;
+    MeshRanges ranges_;
+    std::vector<std::uint32_t> cmap_; //!< C: corner -> point
+    std::vector<std::uint32_t> bmap_; //!< B: point -> data slot
+    Addr a_ = 0, b_ = 0, c_ = 0, d_ = 0, lo_ = 0, hi_ = 0, out_ = 0;
+    double threshold_ = 0.3;
+};
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_UME_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload framework.
+ *
+ * A Workload owns its input data (generated deterministically into the
+ * system's SimMemory), builds per-core kernels in baseline or DX100
+ * form, and verifies the run's output against a host-computed
+ * reference. The same Workload subclass drives both system
+ * configurations so the access patterns differ only in *how* they are
+ * executed.
+ */
+
+#ifndef DX_WORKLOADS_WORKLOAD_HH
+#define DX_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/microop.hh"
+#include "sim/system.hh"
+
+namespace dx::wl
+{
+
+/** Controls workload size so benches can trade fidelity for runtime. */
+struct Scale
+{
+    double factor = 1.0; //!< 1.0 = default "small" sizes
+
+    std::size_t
+    of(std::size_t base) const
+    {
+        const auto v = static_cast<std::size_t>(
+            static_cast<double>(base) * factor);
+        return v < 16 ? 16 : v;
+    }
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate and fill input data; register regions with DX100. */
+    virtual void init(sim::System &sys) = 0;
+
+    /** Build the kernel for one core (baseline or DX100 variant). */
+    virtual std::unique_ptr<cpu::Kernel>
+    makeKernel(sim::System &sys, unsigned core, bool dx100) = 0;
+
+    /** Check the run's output; returns true when correct. */
+    virtual bool verify(sim::System &sys) = 0;
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>(Scale)>;
+
+/** The 12 paper workloads in presentation order. */
+struct WorkloadEntry
+{
+    std::string name;
+    std::string suite;
+    WorkloadFactory make;
+};
+
+const std::vector<WorkloadEntry> &paperWorkloads();
+
+/** Find a workload by name (nullptr if unknown). */
+const WorkloadEntry *findWorkload(const std::string &name);
+
+// ---------------------------------------------------------------------
+// Helpers shared by kernels.
+// ---------------------------------------------------------------------
+
+/** [begin, end) slice of n items owned by core c of k. */
+inline std::pair<std::size_t, std::size_t>
+coreSlice(std::size_t n, unsigned c, unsigned k)
+{
+    const std::size_t per = (n + k - 1) / k;
+    const std::size_t b = std::min<std::size_t>(n, per * c);
+    const std::size_t e = std::min<std::size_t>(n, b + per);
+    return {b, e};
+}
+
+} // namespace dx::wl
+
+#endif // DX_WORKLOADS_WORKLOAD_HH

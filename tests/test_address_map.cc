@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Address map tests: bijectivity, field ranges, interleaving properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "mem/address_map.hh"
+
+using namespace dx;
+using namespace dx::mem;
+
+namespace
+{
+
+class AddressMapOrderTest : public ::testing::TestWithParam<MapOrder>
+{
+};
+
+} // namespace
+
+TEST_P(AddressMapOrderTest, RoundTripRandomAddresses)
+{
+    DramGeometry g;
+    AddressMap map(g, GetParam());
+    Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = lineAlign(rng.below(g.capacity()));
+        const DramCoord c = map.decompose(line);
+        EXPECT_EQ(map.compose(c), line);
+    }
+}
+
+TEST_P(AddressMapOrderTest, FieldsWithinGeometry)
+{
+    DramGeometry g;
+    AddressMap map(g, GetParam());
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = lineAlign(rng.below(g.capacity()));
+        const DramCoord c = map.decompose(line);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_LT(c.rank, g.ranks);
+        EXPECT_LT(c.bankGroup, g.bankGroups);
+        EXPECT_LT(c.bank, g.banksPerGroup);
+        EXPECT_LT(c.row, g.rows);
+        EXPECT_LT(c.column, g.linesPerRow());
+    }
+}
+
+TEST_P(AddressMapOrderTest, DistinctLinesDistinctCoords)
+{
+    DramGeometry g;
+    AddressMap map(g, GetParam());
+    std::set<std::tuple<unsigned, unsigned, unsigned, unsigned,
+                        unsigned, unsigned>> seen;
+    for (Addr line = 0; line < 4096 * kLineBytes; line += kLineBytes) {
+        const DramCoord c = map.decompose(line);
+        auto key = std::make_tuple(c.channel, c.rank, c.bankGroup,
+                                   c.bank, c.row, c.column);
+        EXPECT_TRUE(seen.insert(key).second) << "line " << line;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, AddressMapOrderTest,
+                         ::testing::Values(MapOrder::kChBgCoBaRo,
+                                           MapOrder::kChCoBgBaRo,
+                                           MapOrder::kCoChBgBaRo));
+
+TEST(AddressMap, DefaultOrderInterleavesChannelsThenBankGroups)
+{
+    DramGeometry g; // 2 channels, 4 bank groups
+    AddressMap map(g, MapOrder::kChBgCoBaRo);
+
+    // Consecutive lines must alternate channels.
+    for (unsigned i = 0; i < 16; ++i) {
+        const DramCoord c = map.decompose(Addr{i} * kLineBytes);
+        EXPECT_EQ(c.channel, i % 2u);
+        EXPECT_EQ(c.bankGroup, (i / 2) % 4u);
+    }
+}
+
+TEST(AddressMap, DefaultOrderKeepsStreamInRowPerBankGroup)
+{
+    DramGeometry g;
+    AddressMap map(g, MapOrder::kChBgCoBaRo);
+
+    // Lines at stride (channels * bankGroups) hit the same (ch, bg) and
+    // advance the column within one row.
+    const unsigned stride = g.channels * g.bankGroups;
+    DramCoord first = map.decompose(0);
+    for (unsigned i = 1; i < g.linesPerRow(); ++i) {
+        const DramCoord c =
+            map.decompose(Addr{i} * stride * kLineBytes);
+        EXPECT_EQ(c.channel, first.channel);
+        EXPECT_EQ(c.bankGroup, first.bankGroup);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.column, i);
+    }
+}
+
+TEST(AddressMap, CapacityMatchesGeometry)
+{
+    DramGeometry g;
+    EXPECT_EQ(g.capacity(),
+              std::uint64_t{2} * 1 * 16 * (1u << 16) * 8192);
+    EXPECT_EQ(g.linesPerRow(), 128u);
+    EXPECT_EQ(g.totalBanks(), 32u);
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * DX100 behavioural tests at the device level: doorbell protocol,
+ * scoreboard hazards and out-of-order dispatch, tile ready bits, SPD
+ * coherency invalidation, stream-unit outstanding limits, and the
+ * coalescing statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "runtime/dx100_api.hh"
+#include "sim/system.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+using namespace dx;
+using namespace dx::sim;
+
+namespace
+{
+
+/** Harness: one DX100 system plus helpers to drive it directly. */
+struct DxRig
+{
+    System sys{SystemConfig::withDx100()};
+    runtime::Dx100Runtime *rt = sys.runtime(0);
+    dx100::Dx100 *dev = sys.dx100(0);
+
+    /** A trivial emitter that delivers MMIO stores immediately. */
+    struct DirectEmitter : public cpu::OpEmitter
+    {
+        dx100::Dx100 *dev;
+        SeqNum next = 1;
+
+        SeqNum
+        emit(const cpu::MicroOp &op) override
+        {
+            if (op.kind == cpu::OpKind::kMmioStore)
+                dev->mmioWrite(op.addr, op.value, /*coreId=*/0);
+            return next++;
+        }
+    } emitter;
+
+    DxRig() { emitter.dev = dev; }
+
+    /** Tick the device (and DRAM) until idle. */
+    void
+    drain(Cycle limit = 2'000'000)
+    {
+        for (Cycle t = 0; t < limit && !dev->idle(); ++t) {
+            dev->tick();
+            sys.dram().tick();
+            sys.llc().tick();
+        }
+        ASSERT_TRUE(dev->idle());
+    }
+};
+
+} // namespace
+
+TEST(Dx100Behavior, DoorbellCarriesRealEncodingAndRetires)
+{
+    DxRig rig;
+    SimMemory &mem = rig.sys.memory();
+    const Addr src = rig.sys.allocator().alloc(1024 * 4);
+    for (unsigned i = 0; i < 1024; ++i)
+        mem.write<std::uint32_t>(src + i * 4, i * 3);
+    rig.rt->registerRegion(src, 1024 * 4);
+
+    const unsigned tile = rig.rt->allocTile();
+    const std::uint64_t tok = rig.rt->sld(
+        rig.emitter, 0, runtime::DataType::kU32, src, tile, 0, 1024);
+
+    // Not retired before the timing model runs. (The tile ready bit
+    // only drops at *dispatch* — one tick later — which is exactly why
+    // waits are instruction-id tokens, not bare ready-bit polls.)
+    EXPECT_FALSE(rig.dev->mmioReady(tok, 0));
+    rig.dev->tick();
+    EXPECT_FALSE(rig.dev->tileReady(tile));
+    rig.drain();
+    EXPECT_TRUE(rig.dev->mmioReady(tok, 0));
+    EXPECT_TRUE(rig.dev->tileReady(tile));
+
+    // The functional mirror saw the data at emission time.
+    EXPECT_EQ(rig.rt->spdValue(tile, 7), 21u);
+    EXPECT_EQ(rig.rt->tileSize(tile), 1024u);
+}
+
+TEST(Dx100Behavior, ScoreboardSerializesRawChains)
+{
+    DxRig rig;
+    SimMemory &mem = rig.sys.memory();
+    const std::size_t n = 2048;
+    const Addr b = rig.sys.allocator().alloc(n * 4);
+    const Addr a = rig.sys.allocator().alloc(n * 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        mem.write<std::uint32_t>(
+            b + i * 4, static_cast<std::uint32_t>((i * 37) % n));
+        mem.write<std::uint32_t>(a + i * 4,
+                                 static_cast<std::uint32_t>(i + 100));
+    }
+    rig.rt->registerRegion(b, n * 4);
+    rig.rt->registerRegion(a, n * 4);
+
+    const unsigned idx = rig.rt->allocTile();
+    const unsigned dat = rig.rt->allocTile();
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, b, idx, 0,
+                n);
+    const std::uint64_t tok = rig.rt->ild(
+        rig.emitter, 0, runtime::DataType::kU32, a, dat, idx);
+    rig.drain();
+    EXPECT_TRUE(rig.dev->mmioReady(tok, 0));
+
+    // Mirror result equals the gather semantics.
+    for (std::size_t i = 0; i < n; i += 97) {
+        EXPECT_EQ(rig.rt->spdValue(dat, i),
+                  ((i * 37) % n) + 100);
+    }
+    // Two instructions retired, in dependency order.
+    EXPECT_EQ(rig.dev->stats().instructionsRetired.value(), 2u);
+}
+
+TEST(Dx100Behavior, IndependentInstructionsDispatchOutOfOrder)
+{
+    DxRig rig;
+    const std::size_t n = 4096;
+    const Addr x = rig.sys.allocator().alloc(n * 4);
+    const Addr y = rig.sys.allocator().alloc(n * 4);
+    rig.rt->registerRegion(x, n * 4);
+    rig.rt->registerRegion(y, n * 4);
+
+    const unsigned t1 = rig.rt->allocTile();
+    const unsigned t2 = rig.rt->allocTile();
+    const unsigned t3 = rig.rt->allocTile();
+
+    // SLD t1; ALU chain on t1 (keeps the ALU unit busy after it);
+    // then an *independent* SLD t3 which must overtake the queued ALU
+    // consumer thanks to out-of-order dispatch.
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, x, t1, 0, n);
+    rig.rt->alus(rig.emitter, 0, runtime::DataType::kU32,
+                 runtime::AluOp::kAdd, t2, t1, 5);
+    const std::uint64_t tokInd = rig.rt->sld(
+        rig.emitter, 0, runtime::DataType::kU32, y, t3, 0, n);
+    rig.drain();
+    EXPECT_TRUE(rig.dev->mmioReady(tokInd, 0));
+    EXPECT_EQ(rig.dev->stats().instructionsRetired.value(), 3u);
+}
+
+TEST(Dx100Behavior, CoalescingStatCountsDuplicateColumns)
+{
+    DxRig rig;
+    const std::size_t n = 4096;
+    const Addr b = rig.sys.allocator().alloc(n * 4);
+    const Addr a = rig.sys.allocator().alloc(1024 * 4);
+    SimMemory &mem = rig.sys.memory();
+    // All indices hit the same 64 words -> 4 lines.
+    for (std::size_t i = 0; i < n; ++i)
+        mem.write<std::uint32_t>(b + i * 4,
+                                 static_cast<std::uint32_t>(i % 64));
+    rig.rt->registerRegion(b, n * 4);
+    rig.rt->registerRegion(a, 1024 * 4);
+
+    const unsigned idx = rig.rt->allocTile();
+    const unsigned dat = rig.rt->allocTile();
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, b, idx, 0,
+                n);
+    rig.rt->ild(rig.emitter, 0, runtime::DataType::kU32, a, dat, idx);
+    rig.drain();
+
+    EXPECT_EQ(rig.dev->stats().indirectWords.value(), n);
+    EXPECT_LE(rig.dev->stats().indirectColumns.value(), 8u);
+    EXPECT_GE(rig.dev->stats().coalescingFactor(), 500.0);
+}
+
+TEST(Dx100Behavior, ConditionGatedIndirectSkipsMemoryTraffic)
+{
+    DxRig rig;
+    const std::size_t n = 4096;
+    const Addr b = rig.sys.allocator().alloc(n * 4);
+    const Addr a = rig.sys.allocator().alloc(n * 4);
+    SimMemory &mem = rig.sys.memory();
+    Rng rng(4);
+    for (std::size_t i = 0; i < n; ++i)
+        mem.write<std::uint32_t>(
+            b + i * 4, static_cast<std::uint32_t>(rng.below(n)));
+    rig.rt->registerRegion(b, n * 4);
+    rig.rt->registerRegion(a, n * 4);
+
+    const unsigned idx = rig.rt->allocTile();
+    const unsigned cond = rig.rt->allocTile();
+    const unsigned dat = rig.rt->allocTile();
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, b, idx, 0,
+                n);
+    // cond = idx < 16 (true for ~0.4% of lanes).
+    rig.rt->alus(rig.emitter, 0, runtime::DataType::kU32,
+                 runtime::AluOp::kLt, cond, idx, 16);
+    rig.rt->ild(rig.emitter, 0, runtime::DataType::kU32, a, dat, idx,
+                cond);
+    rig.drain();
+
+    // Words processed (post-condition) must be far below n.
+    EXPECT_LT(rig.dev->stats().indirectWords.value(), n / 32);
+}
+
+TEST(Dx100Behavior, SpdPortServesAndInvalidatesOnRewrite)
+{
+    DxRig rig;
+    const std::size_t n = 1024;
+    const Addr src = rig.sys.allocator().alloc(n * 4);
+    rig.rt->registerRegion(src, n * 4);
+    const unsigned tile = rig.rt->allocTile();
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, src, tile, 0,
+                n);
+    rig.drain();
+
+    // Fetch an SPD line through the port (as the LLC would).
+    struct Sink : public cache::CacheRespSink
+    {
+        int done = 0;
+        void cacheResponse(std::uint64_t) override { ++done; }
+    } sink;
+    cache::CacheReq req;
+    req.addr = rig.rt->spdAddr(tile, 0);
+    req.tag = 1;
+    req.sink = &sink;
+    ASSERT_TRUE(rig.dev->spdPort().portCanAccept());
+    rig.dev->spdPort().portRequest(req);
+    for (int t = 0; t < 200 && sink.done == 0; ++t)
+        rig.dev->tick();
+    EXPECT_EQ(sink.done, 1);
+    EXPECT_EQ(rig.dev->stats().spdLinesServed.value(), 1u);
+
+    // Rewriting the tile must trigger coherency invalidation of the
+    // cached SPD line (counted even though no core cached it: the
+    // agent reports touched caches; here zero caches held it, but the
+    // V-bit bookkeeping must clear without error).
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, src, tile, 0,
+                n);
+    rig.drain();
+    EXPECT_TRUE(rig.dev->tileReady(tile));
+}
+
+TEST(Dx100Behavior, StreamUnitBoundsOutstandingRequests)
+{
+    // A stream of 16K elements = 1024 lines; the request table holds
+    // 128 -> the unit must throttle rather than flood the LLC.
+    DxRig rig;
+    const std::size_t n = 16384;
+    const Addr src = rig.sys.allocator().alloc(n * 4);
+    rig.rt->registerRegion(src, n * 4);
+    const unsigned tile = rig.rt->allocTile();
+    rig.rt->sld(rig.emitter, 0, runtime::DataType::kU32, src, tile, 0,
+                n);
+    rig.drain();
+    // All lines eventually moved through the LLC.
+    EXPECT_GE(rig.dev->stats().llcReads.value(), n * 4 / kLineBytes);
+}
+
+TEST(Dx100Behavior, RangeFuserAndAluUnitsRetire)
+{
+    DxRig rig;
+    const unsigned lo = rig.rt->allocTile();
+    const unsigned hi = rig.rt->allocTile();
+    const unsigned to = rig.rt->allocTile();
+    const unsigned tj = rig.rt->allocTile();
+
+    rig.rt->pokeTile(lo, 0, 5);
+    rig.rt->pokeTile(hi, 0, 9);
+    rig.rt->pokeTile(lo, 1, 20);
+    rig.rt->pokeTile(hi, 1, 22);
+    rig.rt->setTileSize(lo, 2);
+    rig.rt->setTileSize(hi, 2);
+
+    std::uint32_t consumed = 0;
+    rig.rt->rng(rig.emitter, 0, to, tj, lo, hi, 0, &consumed);
+    rig.drain();
+    EXPECT_EQ(consumed, 2u);
+    EXPECT_EQ(rig.rt->tileSize(tj), 6u);
+    EXPECT_EQ(rig.rt->spdValue(tj, 0), 5u);
+    EXPECT_EQ(rig.rt->spdValue(tj, 4), 20u);
+    EXPECT_EQ(rig.rt->spdValue(to, 5), 1u);
+}

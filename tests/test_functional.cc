@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Functional (golden) model tests: every instruction's semantics against
+ * hand-computed expectations, including conditions, multi-level
+ * indirection and range fusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "common/sim_memory.hh"
+#include "dx100/functional.hh"
+
+using namespace dx;
+using namespace dx::dx100;
+
+namespace
+{
+
+struct FunctionalTest : public ::testing::Test
+{
+    SimMemory mem;
+    SimAllocator alloc;
+    Functional fn{mem, 8, 64, 8}; // small tiles for tests
+
+    /** Fill a tile from a vector and set its size. */
+    void
+    setTile(unsigned t, const std::vector<std::uint64_t> &v)
+    {
+        auto &tile = fn.tileRef(t);
+        for (std::size_t i = 0; i < v.size(); ++i)
+            tile.data[i] = v[i];
+        tile.size = static_cast<std::uint32_t>(v.size());
+    }
+
+    std::vector<std::uint64_t>
+    tileVec(unsigned t)
+    {
+        const auto &tile = fn.tile(t);
+        return {tile.data.begin(), tile.data.begin() + tile.size};
+    }
+};
+
+} // namespace
+
+TEST_F(FunctionalTest, StreamLoadContiguous)
+{
+    const Addr base = alloc.allocArray<std::uint32_t>(64);
+    for (std::uint32_t i = 0; i < 64; ++i)
+        mem.write<std::uint32_t>(base + i * 4, i * 10);
+
+    Instruction in;
+    in.op = Opcode::kSld;
+    in.dtype = DataType::kU32;
+    in.td = 0;
+    in.base = base;
+    in.imm = packStream({0, 16, 1});
+    fn.execute(in);
+
+    ASSERT_EQ(fn.tile(0).size, 16u);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(fn.tile(0).data[i], i * 10);
+}
+
+TEST_F(FunctionalTest, StreamLoadStridedAndOffset)
+{
+    const Addr base = alloc.allocArray<std::uint64_t>(128);
+    for (std::uint64_t i = 0; i < 128; ++i)
+        mem.write<std::uint64_t>(base + i * 8, i);
+
+    Instruction in;
+    in.op = Opcode::kSld;
+    in.dtype = DataType::kU64;
+    in.td = 1;
+    in.base = base;
+    in.imm = packStream({5, 10, 3});
+    fn.execute(in);
+
+    for (std::uint32_t i = 0; i < 10; ++i)
+        EXPECT_EQ(fn.tile(1).data[i], 5 + 3 * i);
+}
+
+TEST_F(FunctionalTest, StreamStoreWritesMemory)
+{
+    const Addr base = alloc.allocArray<std::uint32_t>(32);
+    setTile(2, {9, 8, 7, 6});
+
+    Instruction in;
+    in.op = Opcode::kSst;
+    in.dtype = DataType::kU32;
+    in.ts1 = 2;
+    in.base = base;
+    in.imm = packStream({0, 4, 1});
+    fn.execute(in);
+
+    EXPECT_EQ(mem.read<std::uint32_t>(base + 0), 9u);
+    EXPECT_EQ(mem.read<std::uint32_t>(base + 12), 6u);
+}
+
+TEST_F(FunctionalTest, IndirectLoadGathers)
+{
+    const Addr a = alloc.allocArray<std::uint32_t>(100);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        mem.write<std::uint32_t>(a + i * 4, 1000 + i);
+
+    setTile(0, {42, 0, 99, 7});
+    Instruction in;
+    in.op = Opcode::kIld;
+    in.dtype = DataType::kU32;
+    in.td = 1;
+    in.ts1 = 0;
+    in.base = a;
+    fn.execute(in);
+
+    EXPECT_EQ(tileVec(1),
+              (std::vector<std::uint64_t>{1042, 1000, 1099, 1007}));
+}
+
+TEST_F(FunctionalTest, IndirectStoreScatters)
+{
+    const Addr a = alloc.allocArray<std::uint64_t>(64);
+    setTile(0, {3, 60, 5});
+    setTile(1, {111, 222, 333});
+
+    Instruction in;
+    in.op = Opcode::kIst;
+    in.dtype = DataType::kU64;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.base = a;
+    fn.execute(in);
+
+    EXPECT_EQ(mem.read<std::uint64_t>(a + 3 * 8), 111u);
+    EXPECT_EQ(mem.read<std::uint64_t>(a + 60 * 8), 222u);
+    EXPECT_EQ(mem.read<std::uint64_t>(a + 5 * 8), 333u);
+}
+
+TEST_F(FunctionalTest, IndirectRmwAccumulatesWithDuplicates)
+{
+    const Addr a = alloc.allocArray<std::uint32_t>(16);
+    mem.write<std::uint32_t>(a + 4 * 4, 100);
+
+    setTile(0, {4, 4, 4, 2});
+    setTile(1, {1, 2, 3, 9});
+    Instruction in;
+    in.op = Opcode::kIrmw;
+    in.dtype = DataType::kU32;
+    in.aluOp = AluOp::kAdd;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.base = a;
+    fn.execute(in);
+
+    EXPECT_EQ(mem.read<std::uint32_t>(a + 4 * 4), 106u);
+    EXPECT_EQ(mem.read<std::uint32_t>(a + 2 * 4), 9u);
+}
+
+TEST_F(FunctionalTest, IndirectRmwFloatAdd)
+{
+    const Addr a = alloc.allocArray<double>(8);
+    mem.write<double>(a + 2 * 8, 1.5);
+
+    setTile(0, {2});
+    setTile(1, {std::bit_cast<std::uint64_t>(2.25)});
+    Instruction in;
+    in.op = Opcode::kIrmw;
+    in.dtype = DataType::kF64;
+    in.aluOp = AluOp::kAdd;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.base = a;
+    fn.execute(in);
+
+    EXPECT_DOUBLE_EQ(mem.read<double>(a + 2 * 8), 3.75);
+}
+
+TEST_F(FunctionalTest, ConditionGatesStoresAndRmws)
+{
+    const Addr a = alloc.allocArray<std::uint32_t>(8);
+    setTile(0, {1, 2, 3});       // indices
+    setTile(1, {10, 20, 30});    // values
+    setTile(2, {1, 0, 1});       // condition
+
+    Instruction in;
+    in.op = Opcode::kIst;
+    in.dtype = DataType::kU32;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.tc = 2;
+    in.base = a;
+    fn.execute(in);
+
+    EXPECT_EQ(mem.read<std::uint32_t>(a + 1 * 4), 10u);
+    EXPECT_EQ(mem.read<std::uint32_t>(a + 2 * 4), 0u); // skipped
+    EXPECT_EQ(mem.read<std::uint32_t>(a + 3 * 4), 30u);
+}
+
+TEST_F(FunctionalTest, MultiLevelIndirection)
+{
+    // A[B[C[i]]]: two chained ILDs.
+    const Addr c = alloc.allocArray<std::uint32_t>(4);
+    const Addr b = alloc.allocArray<std::uint32_t>(8);
+    const Addr a = alloc.allocArray<std::uint32_t>(16);
+    const std::uint32_t cv[4] = {3, 1, 0, 2};
+    const std::uint32_t bv[8] = {5, 9, 12, 7, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i)
+        mem.write<std::uint32_t>(c + i * 4, cv[i]);
+    for (int i = 0; i < 8; ++i)
+        mem.write<std::uint32_t>(b + i * 4, bv[i]);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        mem.write<std::uint32_t>(a + i * 4, i * 100);
+
+    Instruction sld;
+    sld.op = Opcode::kSld;
+    sld.dtype = DataType::kU32;
+    sld.td = 0;
+    sld.base = c;
+    sld.imm = packStream({0, 4, 1});
+    fn.execute(sld);
+
+    Instruction ild1;
+    ild1.op = Opcode::kIld;
+    ild1.dtype = DataType::kU32;
+    ild1.td = 1;
+    ild1.ts1 = 0;
+    ild1.base = b;
+    fn.execute(ild1);
+
+    Instruction ild2 = ild1;
+    ild2.td = 2;
+    ild2.ts1 = 1;
+    ild2.base = a;
+    fn.execute(ild2);
+
+    // A[B[C[i]]] = (B[C[i]]) * 100 = {700, 900, 500, 1200}.
+    EXPECT_EQ(tileVec(2),
+              (std::vector<std::uint64_t>{700, 900, 500, 1200}));
+}
+
+TEST_F(FunctionalTest, VectorAluAndComparison)
+{
+    setTile(0, {1, 5, 9});
+    setTile(1, {4, 5, 6});
+
+    Instruction add;
+    add.op = Opcode::kAluv;
+    add.dtype = DataType::kU64;
+    add.aluOp = AluOp::kAdd;
+    add.td = 2;
+    add.ts1 = 0;
+    add.ts2 = 1;
+    fn.execute(add);
+    EXPECT_EQ(tileVec(2), (std::vector<std::uint64_t>{5, 10, 15}));
+
+    Instruction lt = add;
+    lt.aluOp = AluOp::kLt;
+    lt.td = 3;
+    fn.execute(lt);
+    EXPECT_EQ(tileVec(3), (std::vector<std::uint64_t>{1, 0, 0}));
+}
+
+TEST_F(FunctionalTest, ScalarAluUsesRegisterFile)
+{
+    setTile(0, {0x12, 0x92, 0xf7});
+    fn.writeReg(3, 0xf0);
+
+    Instruction in;
+    in.op = Opcode::kAlus;
+    in.dtype = DataType::kU64;
+    in.aluOp = AluOp::kAnd;
+    in.td = 1;
+    in.ts1 = 0;
+    in.rs1 = 3;
+    fn.execute(in);
+    EXPECT_EQ(tileVec(1), (std::vector<std::uint64_t>{0x10, 0x90, 0xf0}));
+}
+
+TEST_F(FunctionalTest, RangeFusionProducesLoopPairs)
+{
+    setTile(0, {2, 5, 9});  // lo
+    setTile(1, {4, 5, 12}); // hi (middle range empty)
+
+    Instruction in;
+    in.op = Opcode::kRng;
+    in.td = 2;
+    in.td2 = 3;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.rs1 = 0;
+    in.imm = 0;
+    fn.execute(in);
+
+    EXPECT_EQ(tileVec(2), (std::vector<std::uint64_t>{0, 0, 2, 2, 2}));
+    EXPECT_EQ(tileVec(3), (std::vector<std::uint64_t>{2, 3, 9, 10, 11}));
+    EXPECT_EQ(fn.reg(0), 3u); // consumed all three ranges
+}
+
+TEST_F(FunctionalTest, RangeFusionStopsWhenOutputFull)
+{
+    // Tile capacity is 64 in this fixture; give ranges of 40 each.
+    setTile(0, {0, 100});
+    setTile(1, {40, 140});
+
+    Instruction in;
+    in.op = Opcode::kRng;
+    in.td = 2;
+    in.td2 = 3;
+    in.ts1 = 0;
+    in.ts2 = 1;
+    in.rs1 = 1;
+    in.imm = 0;
+    fn.execute(in);
+
+    EXPECT_EQ(fn.tile(2).size, 40u); // second range did not fit
+    EXPECT_EQ(fn.reg(1), 1u);
+
+    // Resume from the consumed position.
+    in.imm = 1;
+    in.rs1 = 2;
+    fn.execute(in);
+    EXPECT_EQ(fn.tile(2).size, 40u);
+    EXPECT_EQ(fn.tile(3).data[0], 100u);
+}
+
+TEST_F(FunctionalTest, RandomizedGatherMatchesDirectComputation)
+{
+    const std::size_t n = 64;
+    const Addr a = alloc.allocArray<std::uint64_t>(1024);
+    Rng rng(1234);
+    for (std::size_t i = 0; i < 1024; ++i)
+        mem.write<std::uint64_t>(a + i * 8, rng.next());
+
+    std::vector<std::uint64_t> idx(n);
+    for (auto &v : idx)
+        v = rng.below(1024);
+    setTile(0, idx);
+
+    Instruction in;
+    in.op = Opcode::kIld;
+    in.dtype = DataType::kU64;
+    in.td = 1;
+    in.ts1 = 0;
+    in.base = a;
+    fn.execute(in);
+
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(fn.tile(1).data[i],
+                  mem.read<std::uint64_t>(a + idx[i] * 8));
+}

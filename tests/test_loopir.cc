@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Loop-IR compiler tests: use-def analysis, legality, code generation,
+ * and end-to-end equivalence of interpreter / baseline kernel /
+ * compiled DX100 kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "loopir/exec.hh"
+#include "loopir/passes.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dx;
+using namespace dx::loopir;
+
+namespace
+{
+
+struct IrRig
+{
+    SimMemory mem;
+    SimAllocator alloc;
+    Program prog;
+
+    int
+    array(const std::string &name, std::size_t n,
+          DataType t = DataType::kU32)
+    {
+        return prog.addArray(name, alloc.alloc(n * 8), t, n);
+    }
+};
+
+} // namespace
+
+TEST(LoopIrAnalysis, ClassifiesIndirectionDepth)
+{
+    IrRig r;
+    const int a = r.array("A", 16);
+    const int b = r.array("B", 16);
+
+    // B[i]: streaming (depth 1, affine index).
+    auto stream = Expr::ref(b, Expr::indVar());
+    EXPECT_EQ(analyzeExpr(stream).indirectionDepth, 1u);
+    EXPECT_EQ(analyzeExpr(stream->kids[0]).indirectionDepth, 0u);
+    EXPECT_TRUE(analyzeExpr(stream->kids[0]).affine);
+
+    // A[B[i]]: depth 2.
+    auto indirect = Expr::ref(a, stream);
+    EXPECT_EQ(analyzeExpr(indirect).indirectionDepth, 2u);
+
+    // A[B[i] & 0xff]: still depth 2, index not affine.
+    auto masked = Expr::ref(
+        a, Expr::bin(AluOp::kAnd, stream, Expr::cnst(0xff)));
+    EXPECT_EQ(analyzeExpr(masked).indirectionDepth, 2u);
+    EXPECT_FALSE(analyzeExpr(masked->kids[0]).affine);
+}
+
+TEST(LoopIrLegality, RejectsLoadStoreAliasing)
+{
+    IrRig r;
+    const int a = r.array("A", 16);
+    const int b = r.array("B", 16);
+    r.prog.hi = 16;
+
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.array = a;
+    s.index = Expr::ref(b, Expr::indVar());
+    s.value = Expr::ref(a, Expr::indVar()); // reads the stored array
+    r.prog.body.push_back(s);
+
+    const Legality v = checkLegality(r.prog);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.reason.find("A"), std::string::npos);
+}
+
+TEST(LoopIrLegality, RejectsNonCommutativeRmw)
+{
+    IrRig r;
+    const int a = r.array("A", 16);
+    const int b = r.array("B", 16);
+    const int v = r.array("V", 16);
+    r.prog.hi = 16;
+
+    Stmt s;
+    s.kind = Stmt::Kind::kRmw;
+    s.rmwOp = AluOp::kSub; // not reorderable
+    s.array = a;
+    s.index = Expr::ref(b, Expr::indVar());
+    s.value = Expr::ref(v, Expr::indVar());
+    r.prog.body.push_back(s);
+
+    EXPECT_FALSE(checkLegality(r.prog).ok);
+}
+
+TEST(LoopIrLegality, RejectsLoopInvariantStoreIndex)
+{
+    IrRig r;
+    const int a = r.array("A", 16);
+    const int v = r.array("V", 16);
+    r.prog.hi = 16;
+
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.array = a;
+    s.index = Expr::cnst(3); // every iteration writes A[3]
+    s.value = Expr::ref(v, Expr::indVar());
+    r.prog.body.push_back(s);
+
+    EXPECT_FALSE(checkLegality(r.prog).ok);
+}
+
+TEST(LoopIrCodegen, GatherLowersToSldIldSst)
+{
+    IrRig r;
+    const int a = r.array("A", 64);
+    const int b = r.array("B", 64);
+    const int c = r.array("C", 64);
+    r.prog.hi = 64;
+
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.array = c;
+    s.index = Expr::indVar();
+    s.value = Expr::ref(a, Expr::ref(b, Expr::indVar()));
+    r.prog.body.push_back(s);
+
+    const CodegenResult cg = lowerToDx100(r.prog);
+    ASSERT_TRUE(cg.ok) << cg.reason;
+    ASSERT_EQ(cg.plan.ops.size(), 3u);
+    EXPECT_EQ(cg.plan.ops[0].kind, PackedOp::Kind::kSld);
+    EXPECT_EQ(cg.plan.ops[1].kind, PackedOp::Kind::kIld);
+    EXPECT_EQ(cg.plan.ops[2].kind, PackedOp::Kind::kSst);
+}
+
+TEST(LoopIrCodegen, HashPatternUsesAluChain)
+{
+    // A[B[(C[i] & 0xff0) >> 4]] = C[i]  (PRH shape from Table 1)
+    IrRig r;
+    const int a = r.array("A", 64);
+    const int b = r.array("B", 64);
+    const int c = r.array("C", 64);
+    r.prog.hi = 64;
+
+    auto ci = Expr::ref(c, Expr::indVar());
+    auto f = Expr::bin(AluOp::kShr,
+                       Expr::bin(AluOp::kAnd, ci, Expr::cnst(0xff0)),
+                       Expr::cnst(4));
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.array = a;
+    s.index = Expr::ref(b, f);
+    s.value = ci;
+    r.prog.body.push_back(s);
+
+    const CodegenResult cg = lowerToDx100(r.prog);
+    ASSERT_TRUE(cg.ok) << cg.reason;
+    unsigned alus = 0, ilds = 0;
+    for (const auto &op : cg.plan.ops) {
+        alus += op.kind == PackedOp::Kind::kAluS;
+        ilds += op.kind == PackedOp::Kind::kIld;
+    }
+    EXPECT_EQ(alus, 2u); // AND + SHR
+    EXPECT_EQ(ilds, 1u); // B[f]
+}
+
+TEST(LoopIrEndToEnd, CompiledKernelMatchesInterpreter)
+{
+    const std::size_t n = 4096;
+
+    auto build = [n](SimAllocator &alloc) {
+        Program prog;
+        prog.hi = n;
+        const int a =
+            prog.addArray("A", alloc.alloc(n * 4), DataType::kU32, n);
+        const int b =
+            prog.addArray("B", alloc.alloc(n * 4), DataType::kU32, n);
+        const int v =
+            prog.addArray("V", alloc.alloc(n * 4), DataType::kU32, n);
+        Stmt s;
+        s.kind = Stmt::Kind::kRmw;
+        s.rmwOp = AluOp::kAdd;
+        s.array = a;
+        s.index = Expr::ref(b, Expr::indVar());
+        s.value = Expr::ref(v, Expr::indVar());
+        prog.body.push_back(s);
+        return prog;
+    };
+
+    auto fill = [n](const Program &prog, SimMemory &mem) {
+        Rng rng(5);
+        for (std::size_t i = 0; i < n; ++i) {
+            mem.write<std::uint32_t>(prog.arrays[0].base + i * 4, 0);
+            mem.write<std::uint32_t>(
+                prog.arrays[1].base + i * 4,
+                static_cast<std::uint32_t>(rng.below(n)));
+            mem.write<std::uint32_t>(
+                prog.arrays[2].base + i * 4,
+                static_cast<std::uint32_t>(rng.below(50)));
+        }
+    };
+
+    // Reference.
+    SimMemory refMem;
+    SimAllocator refAlloc;
+    Program refProg = build(refAlloc);
+    fill(refProg, refMem);
+    interpret(refProg, refMem);
+
+    // Compiled DX100 run.
+    const CodegenResult cg = lowerToDx100(refProg);
+    ASSERT_TRUE(cg.ok) << cg.reason;
+
+    sim::System sys(sim::SystemConfig::withDx100());
+    Program dxProg = build(sys.allocator());
+    fill(dxProg, sys.memory());
+    std::vector<std::unique_ptr<cpu::Kernel>> kernels;
+    for (unsigned c = 0; c < sys.cores(); ++c) {
+        const auto [bg, en] = wl::coreSlice(n, c, sys.cores());
+        kernels.push_back(makeDx100Kernel(dxProg, cg.plan,
+                                          *sys.runtimeFor(c),
+                                          static_cast<int>(c), bg,
+                                          en));
+        sys.setKernel(c, kernels.back().get());
+    }
+    sys.run();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sys.memory().read<std::uint32_t>(
+                      dxProg.arrays[0].base + i * 4),
+                  refMem.read<std::uint32_t>(refProg.arrays[0].base +
+                                             i * 4))
+            << "element " << i;
+    }
+}
+
+TEST(LoopIrEndToEnd, BaselineKernelMatchesInterpreter)
+{
+    const std::size_t n = 2048;
+    sim::System sys(sim::SystemConfig::baseline());
+    Program prog;
+    prog.hi = n;
+    const int a = prog.addArray("A", sys.allocator().alloc(n * 4),
+                                DataType::kU32, n);
+    const int b = prog.addArray("B", sys.allocator().alloc(n * 4),
+                                DataType::kU32, n);
+    Rng rng(9);
+    for (std::size_t i = 0; i < n; ++i) {
+        sys.memory().write<std::uint32_t>(
+            prog.arrays[0].base + i * 4, 0);
+        sys.memory().write<std::uint32_t>(
+            prog.arrays[1].base + i * 4,
+            static_cast<std::uint32_t>(rng.below(n)));
+    }
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.array = a;
+    s.index = Expr::indVar();
+    s.value = Expr::bin(AluOp::kAdd, Expr::ref(b, Expr::indVar()),
+                        Expr::cnst(7));
+    prog.body.push_back(s);
+
+    // Host reference on a copy.
+    SimMemory refMem;
+    Program refProg = prog;
+    for (std::size_t i = 0; i < n; ++i) {
+        refMem.write<std::uint32_t>(
+            prog.arrays[1].base + i * 4,
+            sys.memory().read<std::uint32_t>(prog.arrays[1].base +
+                                             i * 4));
+    }
+    interpret(refProg, refMem);
+
+    std::vector<std::unique_ptr<cpu::Kernel>> kernels;
+    for (unsigned c = 0; c < sys.cores(); ++c) {
+        const auto [bg, en] = wl::coreSlice(n, c, sys.cores());
+        kernels.push_back(
+            makeBaselineKernel(prog, sys.memory(), bg, en));
+        sys.setKernel(c, kernels.back().get());
+    }
+    sys.run();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sys.memory().read<std::uint32_t>(
+                      prog.arrays[0].base + i * 4),
+                  refMem.read<std::uint32_t>(prog.arrays[0].base +
+                                             i * 4));
+    }
+}

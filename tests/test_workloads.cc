@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Every paper workload, at reduced scale, runs on the baseline, the
+ * DX100 system, and the DMP system, and must verify functionally.
+ * These tests exercise the full stack: kernels, runtime API, all four
+ * DX100 units, coherency, caches and DRAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dx;
+using namespace dx::sim;
+using namespace dx::wl;
+
+namespace
+{
+
+constexpr double kTestScale = 0.02;
+
+RunStats
+runVerified(const WorkloadEntry &entry, const SystemConfig &cfg)
+{
+    auto w = entry.make(Scale{kTestScale});
+    System sys(cfg);
+    w->init(sys);
+    std::vector<std::unique_ptr<cpu::Kernel>> kernels;
+    for (unsigned c = 0; c < sys.cores(); ++c) {
+        kernels.push_back(
+            w->makeKernel(sys, c, cfg.dx100Instances > 0));
+        sys.setKernel(c, kernels.back().get());
+    }
+    const RunStats stats = sys.run();
+    EXPECT_TRUE(w->verify(sys))
+        << entry.name << " produced wrong results";
+    return stats;
+}
+
+class WorkloadTest
+    : public ::testing::TestWithParam<const WorkloadEntry *>
+{
+};
+
+std::vector<const WorkloadEntry *>
+allEntries()
+{
+    std::vector<const WorkloadEntry *> out;
+    for (const auto &e : paperWorkloads())
+        out.push_back(&e);
+    return out;
+}
+
+std::string
+entryName(const ::testing::TestParamInfo<const WorkloadEntry *> &info)
+{
+    return info.param->name;
+}
+
+} // namespace
+
+TEST_P(WorkloadTest, BaselineCorrect)
+{
+    const RunStats s = runVerified(*GetParam(),
+                                   SystemConfig::baseline());
+    EXPECT_GT(s.instructions, 0u);
+}
+
+TEST_P(WorkloadTest, Dx100Correct)
+{
+    const RunStats s = runVerified(*GetParam(),
+                                   SystemConfig::withDx100());
+    EXPECT_GT(s.dxInstructions, 0u);
+}
+
+TEST_P(WorkloadTest, DmpCorrect)
+{
+    runVerified(*GetParam(), SystemConfig::withDmp());
+}
+
+TEST_P(WorkloadTest, Dx100ReducesInstructions)
+{
+    const RunStats base = runVerified(*GetParam(),
+                                      SystemConfig::baseline());
+    const RunStats dx = runVerified(*GetParam(),
+                                    SystemConfig::withDx100());
+    // Every workload offloads at least part of its address arithmetic.
+    EXPECT_LT(dx.instructions, base.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(allEntries()),
+                         entryName);
+
+TEST(WorkloadRegistry, HasTwelveEntriesAndLookup)
+{
+    EXPECT_EQ(paperWorkloads().size(), 12u);
+    EXPECT_NE(findWorkload("IS"), nullptr);
+    EXPECT_NE(findWorkload("XRAGE"), nullptr);
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+    EXPECT_EQ(findWorkload("GZPI")->suite, "UME");
+}
