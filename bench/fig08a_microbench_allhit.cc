@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/run_matrix.hh"
 #include "workloads/micro.hh"
 
 using namespace dx;
@@ -19,13 +21,89 @@ using namespace dx::wl;
 namespace
 {
 
-double
-speedupOf(Workload &base, Workload &dx, const SystemConfig &baseCfg,
-          const SystemConfig &dxCfg)
+constexpr std::size_t kN = std::size_t{1} << 18;
+
+struct Row
 {
-    const RunStats b = runWorkloadOnce(base, baseCfg);
-    const RunStats d = runWorkloadOnce(dx, dxCfg);
-    return static_cast<double>(b.cycles) / d.cycles;
+    std::string name;
+    std::string baseTag;
+    std::string dxTag;
+    std::string paper;
+};
+
+const std::vector<Row> kRows = {
+    {"Gather-SPD", "baseline", "dx100", "1.2x"},
+    {"Gather-Full", "baseline", "dx100", "3.2x"},
+    {"RMW-Atomic", "baseline", "dx100", "17.8x"},
+    {"RMW-NoAtom", "baseline", "dx100", "3.7x"},
+    {"Scatter", "baseline_1c", "dx100_1c", "6.6x"},
+};
+
+WorkloadSpec
+micro(std::string name, wl::WorkloadFactory make)
+{
+    // Fixed-size micros ignore Scale: run fresh, never cached.
+    return {std::move(name), "micro", std::move(make), false};
+}
+
+RunMatrix
+allHitMatrix()
+{
+    RunMatrix m("allhit_micro");
+    m.add(micro("Gather-SPD", [](Scale) {
+        return std::make_unique<GatherMicro>(GatherMicro::Mode::kSpd,
+                                             kN);
+    }));
+    m.add(micro("Gather-Full", [](Scale) {
+        return std::make_unique<GatherMicro>(GatherMicro::Mode::kFull,
+                                             kN);
+    }));
+    m.add(micro("RMW-Atomic", [](Scale) {
+        return std::make_unique<RmwMicro>(kN, /*atomicBaseline=*/true);
+    }));
+    m.add(micro("RMW-NoAtom", [](Scale) {
+        return std::make_unique<RmwMicro>(kN, false);
+    }));
+    m.add(micro("Scatter", [](Scale) {
+        return std::make_unique<ScatterMicro>(kN, /*streaming=*/true);
+    }));
+
+    m.addConfig("baseline", SystemConfig::baseline());
+    m.addConfig("dx100", SystemConfig::withDx100());
+
+    // Scatter cannot be parallelized safely: 1-core configs, with the
+    // paper's 4MB/2MB LLC split.
+    SystemConfig bc = SystemConfig::baseline(1);
+    bc.llc.sizeBytes = 4 * 1024 * 1024;
+    bc.llc.assoc = 16;
+    m.addConfig("baseline_1c", bc);
+    SystemConfig dc = SystemConfig::withDx100(1);
+    dc.llc.sizeBytes = 2 * 1024 * 1024;
+    dc.llc.assoc = 16;
+    m.addConfig("dx100_1c", dc);
+
+    for (const auto &row : kRows)
+        m.limit(row.name, {row.baseTag, row.dxTag});
+    return m;
+}
+
+void
+formatAllHitTable(const MatrixResult &r)
+{
+    std::printf("%-12s %9s %9s\n", "kernel", "speedup", "paper");
+    for (const auto &row : kRows) {
+        const CellResult &base = r.cell(row.name, row.baseTag);
+        const CellResult &dx = r.cell(row.name, row.dxTag);
+        if (!base.ok || !dx.ok) {
+            std::printf("%-12s %9s %9s\n", row.name.c_str(), "FAILED",
+                        row.paper.c_str());
+            continue;
+        }
+        std::printf("%-12s %8.2fx %9s\n", row.name.c_str(),
+                    static_cast<double>(base.stats.cycles) /
+                        dx.stats.cycles,
+                    row.paper.c_str());
+    }
 }
 
 } // namespace
@@ -33,58 +111,11 @@ speedupOf(Workload &base, Workload &dx, const SystemConfig &baseCfg,
 int
 main(int argc, char **argv)
 {
-    ExpOptions opt = ExpOptions::parse(argc, argv);
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
     printBenchHeader("Fig. 8(a) - all-hit microbenchmarks", opt);
 
-    const auto n = static_cast<std::size_t>(1 << 18);
-
-    std::printf("%-12s %9s %9s\n", "kernel", "speedup", "paper");
-
-    {
-        GatherMicro b(GatherMicro::Mode::kSpd, n);
-        GatherMicro d(GatherMicro::Mode::kSpd, n);
-        std::printf("%-12s %8.2fx %9s\n", "Gather-SPD",
-                    speedupOf(b, d, SystemConfig::baseline(),
-                              SystemConfig::withDx100()),
-                    "1.2x");
-    }
-    {
-        GatherMicro b(GatherMicro::Mode::kFull, n);
-        GatherMicro d(GatherMicro::Mode::kFull, n);
-        std::printf("%-12s %8.2fx %9s\n", "Gather-Full",
-                    speedupOf(b, d, SystemConfig::baseline(),
-                              SystemConfig::withDx100()),
-                    "3.2x");
-    }
-    {
-        RmwMicro b(n, /*atomic=*/true);
-        RmwMicro d(n, true);
-        std::printf("%-12s %8.2fx %9s\n", "RMW-Atomic",
-                    speedupOf(b, d, SystemConfig::baseline(),
-                              SystemConfig::withDx100()),
-                    "17.8x");
-    }
-    {
-        RmwMicro b(n, /*atomic=*/false);
-        RmwMicro d(n, false);
-        std::printf("%-12s %8.2fx %9s\n", "RMW-NoAtom",
-                    speedupOf(b, d, SystemConfig::baseline(),
-                              SystemConfig::withDx100()),
-                    "3.7x");
-    }
-    {
-        // Scatter cannot be parallelized safely: 1-core configs, with
-        // the paper's 4MB/2MB LLC split.
-        SystemConfig bc = SystemConfig::baseline(1);
-        bc.llc.sizeBytes = 4 * 1024 * 1024;
-        bc.llc.assoc = 16;
-        SystemConfig dc = SystemConfig::withDx100(1);
-        dc.llc.sizeBytes = 2 * 1024 * 1024;
-        dc.llc.assoc = 16;
-        ScatterMicro b(n, /*streaming=*/true);
-        ScatterMicro d(n, true);
-        std::printf("%-12s %8.2fx %9s\n", "Scatter",
-                    speedupOf(b, d, bc, dc), "6.6x");
-    }
-    return 0;
+    const MatrixResult result = allHitMatrix().run(opt);
+    formatAllHitTable(result);
+    maybeWriteJson(result, "fig08a", opt);
+    return result.failures() == 0 ? 0 : 1;
 }

@@ -8,29 +8,31 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/run_matrix.hh"
 #include "workloads/micro.hh"
 
 using namespace dx;
 using namespace dx::sim;
 using namespace dx::wl;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    ExpOptions opt = ExpOptions::parse(argc, argv);
-    printBenchHeader("Fig. 8(b,c) - all-miss Gather-Full vs index "
-                     "order", opt);
 
-    struct Point
-    {
-        std::string label;
-        DramPatternParams pat;
-    };
+constexpr std::size_t kN = 64 * 1024;
 
+struct Point
+{
+    std::string label;
+    DramPatternParams pat;
+};
+
+std::vector<Point>
+patternPoints()
+{
     std::vector<Point> points;
     for (unsigned rbh : {0u, 25u, 50u, 75u, 100u}) {
         DramPatternParams p;
@@ -53,25 +55,62 @@ main(int argc, char **argv)
         p.bankGroupInterleave = true;
         points.push_back({"RBH100+CHI+BGI", p});
     }
+    return points;
+}
 
-    const std::size_t n = 64 * 1024;
+RunMatrix
+allMissMatrix()
+{
+    RunMatrix m("allmiss_micro");
+    for (const auto &pt : patternPoints()) {
+        const DramPatternParams pat = pt.pat;
+        m.add({pt.label, "micro",
+               [pat](Scale) -> std::unique_ptr<Workload> {
+                   return std::make_unique<GatherMicro>(
+                       GatherMicro::Mode::kFull, kN, pat);
+               },
+               /*cacheable=*/false});
+    }
+    m.addConfig("baseline", SystemConfig::baseline());
+    m.addConfig("dx100", SystemConfig::withDx100());
+    return m;
+}
+
+void
+formatAllMissTable(const MatrixResult &r)
+{
     std::printf("%-16s %9s | %6s %6s | %6s %6s\n", "index order",
                 "speedup", "bw.b", "bw.dx", "rbh.b", "rbh.dx");
-    for (const auto &pt : points) {
-        GatherMicro base(GatherMicro::Mode::kFull, n, pt.pat);
-        const RunStats b =
-            runWorkloadOnce(base, SystemConfig::baseline());
-        GatherMicro dx(GatherMicro::Mode::kFull, n, pt.pat);
-        const RunStats d =
-            runWorkloadOnce(dx, SystemConfig::withDx100());
-
+    for (const auto &w : r.workloads()) {
+        const CellResult &base = r.cell(w.name, "baseline");
+        const CellResult &dx = r.cell(w.name, "dx100");
+        if (!base.ok || !dx.ok) {
+            std::printf("%-16s %9s\n", w.name.c_str(), "FAILED");
+            continue;
+        }
+        const RunStats &b = base.stats;
+        const RunStats &d = dx.stats;
         std::printf("%-16s %8.2fx | %6.3f %6.3f | %6.3f %6.3f\n",
-                    pt.label.c_str(),
+                    w.name.c_str(),
                     static_cast<double>(b.cycles) / d.cycles,
                     b.bandwidthUtil, d.bandwidthUtil,
                     b.rowBufferHitRate, d.rowBufferHitRate);
     }
     std::printf("(paper: speedup 9.9x at worst order -> 1.7x at best; "
                 "DX100 bw flat at 0.82-0.85)\n");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Fig. 8(b,c) - all-miss Gather-Full vs index "
+                     "order", opt);
+
+    const MatrixResult result = allMissMatrix().run(opt);
+    formatAllMissTable(result);
+    maybeWriteJson(result, "fig08bc", opt);
+    return result.failures() == 0 ? 0 : 1;
 }

@@ -6,55 +6,85 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/run_matrix.hh"
 
 using namespace dx;
 using namespace dx::sim;
 using namespace dx::wl;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    ExpOptions opt = ExpOptions::parse(argc, argv);
-    printBenchHeader("Fig. 13 - tile size sensitivity", opt);
 
-    // A representative subset spanning RMW, scatter, gather and range
-    // patterns (the full 12 at six tile sizes would take hours).
-    const std::vector<std::string> subset = {"IS", "GZZ", "XRAGE",
-                                             "PR"};
-    const std::vector<unsigned> tiles = {1024, 2048, 4096, 8192,
-                                         16384, 32768};
+// A representative subset spanning RMW, scatter, gather and range
+// patterns (the full 12 at six tile sizes would take hours).
+const std::vector<std::string> kSubset = {"IS", "GZZ", "XRAGE", "PR"};
+const std::vector<unsigned> kTiles = {1024, 2048, 4096, 8192, 16384,
+                                      32768};
 
+RunMatrix
+tileMatrix()
+{
+    RunMatrix m("tile_sweep");
+    for (const auto &name : kSubset) {
+        const WorkloadEntry *entry = findWorkload(name);
+        if (!entry)
+            dx_fatal("unknown workload in tile sweep: ", name);
+        m.add(*entry);
+    }
+    m.addConfig("baseline", SystemConfig::baseline());
+    for (unsigned t : kTiles) {
+        SystemConfig cfg = SystemConfig::withDx100();
+        cfg.dx.tileElems = t;
+        m.addConfig("dx100_tile" + std::to_string(t), cfg);
+    }
+    return m;
+}
+
+void
+formatTileTable(const MatrixResult &r)
+{
     std::printf("%-8s", "tile");
-    for (const auto &name : subset)
+    for (const auto &name : kSubset)
         std::printf(" %8s", name.c_str());
     std::printf(" %9s %9s\n", "geomean", "coalesce");
 
-    for (unsigned t : tiles) {
+    for (unsigned t : kTiles) {
+        const std::string tag = "dx100_tile" + std::to_string(t);
         std::vector<double> speedups;
         double coalesce = 0.0;
         std::printf("%-8u", t);
-        for (const auto &name : subset) {
-            const WorkloadEntry *entry = findWorkload(name);
-            const RunStats base = runWorkload(
-                *entry, SystemConfig::baseline(), "baseline", opt);
-
-            SystemConfig cfg = SystemConfig::withDx100();
-            cfg.dx.tileElems = t;
-            const RunStats dx = runWorkload(
-                *entry, cfg, "dx100_tile" + std::to_string(t), opt);
-
-            const double s =
-                static_cast<double>(base.cycles) / dx.cycles;
+        for (const auto &name : kSubset) {
+            const CellResult &base = r.cell(name, "baseline");
+            const CellResult &dx = r.cell(name, tag);
+            if (!base.ok || !dx.ok) {
+                std::printf(" %8s", "FAILED");
+                continue;
+            }
+            const double s = static_cast<double>(base.stats.cycles) /
+                             dx.stats.cycles;
             speedups.push_back(s);
-            coalesce += dx.coalescingFactor;
+            coalesce += dx.stats.coalescingFactor;
             std::printf(" %7.2fx", s);
         }
         std::printf(" %8.2fx %9.2f\n", geomean(speedups),
-                    coalesce / subset.size());
+                    coalesce / kSubset.size());
     }
     std::printf("(paper: 1.7x at 1K -> 2.9x at 32K)\n");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
+    printBenchHeader("Fig. 13 - tile size sensitivity", opt);
+
+    const MatrixResult result = tileMatrix().run(opt);
+    formatTileTable(result);
+    maybeWriteJson(result, "fig13", opt);
+    return result.failures() == 0 ? 0 : 1;
 }

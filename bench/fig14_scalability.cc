@@ -4,49 +4,71 @@
  * instance count. Paper: 2.6x speedup with 4 cores / 1 instance, 2.5x
  * with 8 cores / 1 instance (4 channels), 2.7x with 8 cores / 2
  * instances (core multiplexing + region coherence).
+ *
+ * The 4-core pair reuses the paper_main tags, so those 24 cells come
+ * straight from the fig09/10/11 cache. The 8-core columns carry a 2x
+ * scale multiplier (the paper doubles the dataset with the cores).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/run_matrix.hh"
 
 using namespace dx;
 using namespace dx::sim;
-using namespace dx::wl;
 
 namespace
 {
 
-double
-geomeanSpeedup(unsigned cores, unsigned instances,
-               const ExpOptions &opt)
+RunMatrix
+scalabilityMatrix()
 {
-    // The paper doubles the dataset along with the core count.
-    ExpOptions scaled = opt;
-    if (cores > 4)
-        scaled.scale = opt.scale * 2.0;
+    RunMatrix m("scalability");
+    m.addWorkloads(wl::paperWorkloads());
 
+    m.addConfig("baseline", SystemConfig::baseline(4));
+    m.addConfig("dx100", SystemConfig::withDx100(4, 1));
+
+    m.addConfig("baseline8", SystemConfig::baseline(8), 2.0);
+    // A single instance serving 8 cores gets a near-doubled
+    // scratchpad (paper: one 4MB instance vs two 2MB instances);
+    // tile ids are 6-bit with 0x3f reserved, capping at 60 tiles.
+    SystemConfig c8i1 = SystemConfig::withDx100(8, 1);
+    c8i1.dx.numTiles = 60;
+    m.addConfig("dx100_c8i1", c8i1, 2.0);
+    m.addConfig("dx100_c8i2", SystemConfig::withDx100(8, 2), 2.0);
+    return m;
+}
+
+double
+geomeanSpeedup(const MatrixResult &r, const std::string &baseTag,
+               const std::string &dxTag)
+{
     std::vector<double> speedups;
-    for (const auto &entry : paperWorkloads()) {
-        const RunStats base = runWorkload(
-            entry, SystemConfig::baseline(cores),
-            "baseline" + std::to_string(cores), scaled);
-        SystemConfig cfg = SystemConfig::withDx100(cores, instances);
-        // A single instance serving 8 cores gets a near-doubled
-        // scratchpad (paper: one 4MB instance vs two 2MB instances);
-        // tile ids are 6-bit with 0x3f reserved, capping at 60 tiles.
-        if (cores > 4 && instances == 1)
-            cfg.dx.numTiles = 60;
-        const RunStats dx = runWorkload(
-            entry, cfg,
-            "dx100_c" + std::to_string(cores) + "i" +
-                std::to_string(instances),
-            scaled);
-        speedups.push_back(static_cast<double>(base.cycles) /
-                           dx.cycles);
+    for (const auto &w : r.workloads()) {
+        const CellResult &base = r.cell(w.name, baseTag);
+        const CellResult &dx = r.cell(w.name, dxTag);
+        if (!base.ok || !dx.ok)
+            continue;
+        speedups.push_back(static_cast<double>(base.stats.cycles) /
+                           dx.stats.cycles);
     }
     return geomean(speedups);
+}
+
+void
+formatScalabilityTable(const MatrixResult &r)
+{
+    std::printf("%-26s %9s %9s\n", "configuration", "geomean",
+                "paper");
+    std::printf("%-26s %8.2fx %9s\n", "4 cores, 1 instance",
+                geomeanSpeedup(r, "baseline", "dx100"), "2.6x");
+    std::printf("%-26s %8.2fx %9s\n", "8 cores, 1 instance (4ch)",
+                geomeanSpeedup(r, "baseline8", "dx100_c8i1"), "2.5x");
+    std::printf("%-26s %8.2fx %9s\n", "8 cores, 2 instances",
+                geomeanSpeedup(r, "baseline8", "dx100_c8i2"), "2.7x");
 }
 
 } // namespace
@@ -54,16 +76,11 @@ geomeanSpeedup(unsigned cores, unsigned instances,
 int
 main(int argc, char **argv)
 {
-    ExpOptions opt = ExpOptions::parse(argc, argv);
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
     printBenchHeader("Fig. 14 - scalability (cores x instances)", opt);
 
-    std::printf("%-26s %9s %9s\n", "configuration", "geomean",
-                "paper");
-    std::printf("%-26s %8.2fx %9s\n", "4 cores, 1 instance",
-                geomeanSpeedup(4, 1, opt), "2.6x");
-    std::printf("%-26s %8.2fx %9s\n", "8 cores, 1 instance (4ch)",
-                geomeanSpeedup(8, 1, opt), "2.5x");
-    std::printf("%-26s %8.2fx %9s\n", "8 cores, 2 instances",
-                geomeanSpeedup(8, 2, opt), "2.7x");
-    return 0;
+    const MatrixResult result = scalabilityMatrix().run(opt);
+    formatScalabilityTable(result);
+    maybeWriteJson(result, "fig14", opt);
+    return result.failures() == 0 ? 0 : 1;
 }

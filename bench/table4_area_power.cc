@@ -2,18 +2,55 @@
  * @file
  * Reproduces paper Table 4 (DX100 area/power at 28 nm) and the §6.5
  * scaling discussion (14 nm total ~1.5 mm^2, 3.7% processor overhead
- * when shared by four cores).
+ * when shared by four cores). Runs no simulations, but accepts the
+ * common bench options so `--json` emits BENCH_table4.json alongside
+ * the figure benches' trajectories.
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "model/area_power.hh"
+#include "sim/experiment.hh"
 
 using namespace dx::model;
+using namespace dx::sim;
+
+namespace
+{
+
+void
+writeJson(const char *file)
+{
+    std::ofstream out(file);
+    if (!out)
+        return;
+    out << "{\n  \"bench\": \"table4\",\n  \"components\": [\n";
+    bool first = true;
+    for (const auto &c : AreaPowerModel::components()) {
+        out << (first ? "" : ",\n") << "    {\"module\": \"" << c.name
+            << "\", \"areaMm2_28\": " << c.areaMm2atlas28
+            << ", \"powerMw_28\": " << c.powerMw28 << "}";
+        first = false;
+    }
+    out << "\n  ],\n"
+        << "  \"totalArea28\": " << AreaPowerModel::totalArea28()
+        << ",\n"
+        << "  \"totalPower28\": " << AreaPowerModel::totalPower28()
+        << ",\n"
+        << "  \"totalArea14\": " << AreaPowerModel::totalArea14()
+        << ",\n"
+        << "  \"processorOverhead4\": "
+        << AreaPowerModel::processorOverhead(4) << "\n}\n";
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
+
     std::printf("Table 4 - DX100 area and power (28 nm)\n");
     std::printf("%-18s %12s %12s\n", "Module", "Area (mm^2)",
                 "Power (mW)");
@@ -33,5 +70,8 @@ main()
                 AreaPowerModel::kLlcSliceArea14);
     std::printf("  4-core overhead  %6.2f %%     (paper: 3.7%%)\n",
                 AreaPowerModel::processorOverhead(4) * 100.0);
+
+    if (opt.json)
+        writeJson("BENCH_table4.json");
     return 0;
 }

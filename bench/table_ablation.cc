@@ -9,11 +9,17 @@
  *      the paper argues is too small, §2.1);
  *   3. DX100 Row Table fill rate;
  *   4. Row Table capacity (rows per slice).
+ *
+ * All sections share one declarative matrix over the single worst-case
+ * workload, so the whole sweep parallelizes across --jobs workers.
  */
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/run_matrix.hh"
 #include "workloads/micro.hh"
 
 using namespace dx;
@@ -22,6 +28,16 @@ using namespace dx::wl;
 
 namespace
 {
+
+constexpr std::size_t kN = 64 * 1024;
+const char kWorkload[] = "allmiss_worst";
+
+const std::vector<mem::MapOrder> kOrders = {
+    mem::MapOrder::kChBgCoBaRo, mem::MapOrder::kChCoBgBaRo,
+    mem::MapOrder::kCoChBgBaRo};
+const std::vector<unsigned> kQueueDepths = {8, 16, 32, 64, 128};
+const std::vector<unsigned> kFillRates = {2, 4, 8, 16, 32};
+const std::vector<unsigned> kRowsPerSlice = {8, 16, 32, 64, 128};
 
 DramPatternParams
 worstPattern()
@@ -33,22 +49,109 @@ worstPattern()
     return p;
 }
 
-struct Result
+RunMatrix
+ablationMatrix()
 {
-    Cycle baseCycles;
-    Cycle dxCycles;
-    double dxBw;
-};
+    RunMatrix m("ablation");
+    m.add({kWorkload, "micro",
+           [](Scale) -> std::unique_ptr<Workload> {
+               return std::make_unique<GatherMicro>(
+                   GatherMicro::Mode::kFull, kN, worstPattern());
+           },
+           /*cacheable=*/false});
 
-Result
-run(const SystemConfig &baseCfg, const SystemConfig &dxCfg)
+    for (auto order : kOrders) {
+        SystemConfig bc = SystemConfig::baseline();
+        bc.dram.order = order;
+        m.addConfig("base_" + mem::to_string(order), bc);
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dram.order = order;
+        m.addConfig("dx_" + mem::to_string(order), dc);
+    }
+
+    for (unsigned q : kQueueDepths) {
+        SystemConfig bc = SystemConfig::baseline();
+        bc.dram.ctrl.readQueueSize = q;
+        bc.dram.ctrl.writeQueueSize = q;
+        bc.dram.ctrl.writeHiWatermark = 3 * q / 4;
+        bc.dram.ctrl.writeLoWatermark = q / 4;
+        m.addConfig("base_q" + std::to_string(q), bc);
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dram.ctrl = bc.dram.ctrl;
+        m.addConfig("dx_q" + std::to_string(q), dc);
+    }
+
+    for (unsigned f : kFillRates) {
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dx.fillRate = f;
+        m.addConfig("dx_fill" + std::to_string(f), dc);
+    }
+
+    for (unsigned rows : kRowsPerSlice) {
+        SystemConfig dc = SystemConfig::withDx100();
+        dc.dx.rowsPerSlice = rows;
+        m.addConfig("dx_rows" + std::to_string(rows), dc);
+    }
+    return m;
+}
+
+const RunStats &
+statsOf(const MatrixResult &r, const std::string &tag)
 {
-    const std::size_t n = 64 * 1024;
-    GatherMicro wb(GatherMicro::Mode::kFull, n, worstPattern());
-    const RunStats b = runWorkloadOnce(wb, baseCfg);
-    GatherMicro wd(GatherMicro::Mode::kFull, n, worstPattern());
-    const RunStats d = runWorkloadOnce(wd, dxCfg);
-    return {b.cycles, d.cycles, d.bandwidthUtil};
+    const CellResult &c = r.cell(kWorkload, tag);
+    if (!c.ok)
+        dx_fatal("ablation cell ", tag, " failed: ", c.error);
+    return c.stats;
+}
+
+void
+formatAblationTables(const MatrixResult &r)
+{
+    std::printf("--- address interleaving order ---\n");
+    std::printf("%-14s %12s %12s %9s %7s\n", "order", "base", "dx100",
+                "speedup", "dx bw");
+    for (auto order : kOrders) {
+        const std::string name = mem::to_string(order);
+        const RunStats &b = statsOf(r, "base_" + name);
+        const RunStats &d = statsOf(r, "dx_" + name);
+        std::printf("%-14s %12llu %12llu %8.2fx %6.1f%%\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(d.cycles),
+                    static_cast<double>(b.cycles) / d.cycles,
+                    d.bandwidthUtil * 100);
+    }
+
+    std::printf("\n--- request buffer depth (baseline visibility) ---\n");
+    std::printf("%-14s %12s %12s %9s\n", "entries", "base", "dx100",
+                "speedup");
+    for (unsigned q : kQueueDepths) {
+        const RunStats &b = statsOf(r, "base_q" + std::to_string(q));
+        const RunStats &d = statsOf(r, "dx_q" + std::to_string(q));
+        std::printf("%-14u %12llu %12llu %8.2fx\n", q,
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(d.cycles),
+                    static_cast<double>(b.cycles) / d.cycles);
+    }
+
+    std::printf("\n--- DX100 fill rate (indices/cycle) ---\n");
+    std::printf("%-14s %12s %7s\n", "fill rate", "dx100", "dx bw");
+    for (unsigned f : kFillRates) {
+        const RunStats &d = statsOf(r, "dx_fill" + std::to_string(f));
+        std::printf("%-14u %12llu %6.1f%%\n", f,
+                    static_cast<unsigned long long>(d.cycles),
+                    d.bandwidthUtil * 100);
+    }
+
+    std::printf("\n--- Row Table rows per slice ---\n");
+    std::printf("%-14s %12s %7s\n", "rows/slice", "dx100", "dx bw");
+    for (unsigned rows : kRowsPerSlice) {
+        const RunStats &d =
+            statsOf(r, "dx_rows" + std::to_string(rows));
+        std::printf("%-14u %12llu %6.1f%%\n", rows,
+                    static_cast<unsigned long long>(d.cycles),
+                    d.bandwidthUtil * 100);
+    }
 }
 
 } // namespace
@@ -56,67 +159,12 @@ run(const SystemConfig &baseCfg, const SystemConfig &dxCfg)
 int
 main(int argc, char **argv)
 {
-    ExpOptions opt = ExpOptions::parse(argc, argv);
+    const ExpOptions opt = ExpOptions::parse(argc, argv);
     printBenchHeader("Ablations - all-miss gather, worst index order",
                      opt);
 
-    std::printf("--- address interleaving order ---\n");
-    std::printf("%-14s %12s %12s %9s %7s\n", "order", "base", "dx100",
-                "speedup", "dx bw");
-    for (auto order : {mem::MapOrder::kChBgCoBaRo,
-                       mem::MapOrder::kChCoBgBaRo,
-                       mem::MapOrder::kCoChBgBaRo}) {
-        SystemConfig bc = SystemConfig::baseline();
-        bc.dram.order = order;
-        SystemConfig dc = SystemConfig::withDx100();
-        dc.dram.order = order;
-        const Result r = run(bc, dc);
-        std::printf("%-14s %12llu %12llu %8.2fx %6.1f%%\n",
-                    mem::to_string(order).c_str(),
-                    static_cast<unsigned long long>(r.baseCycles),
-                    static_cast<unsigned long long>(r.dxCycles),
-                    static_cast<double>(r.baseCycles) / r.dxCycles,
-                    r.dxBw * 100);
-    }
-
-    std::printf("\n--- request buffer depth (baseline visibility) ---\n");
-    std::printf("%-14s %12s %12s %9s\n", "entries", "base", "dx100",
-                "speedup");
-    for (unsigned q : {8u, 16u, 32u, 64u, 128u}) {
-        SystemConfig bc = SystemConfig::baseline();
-        bc.dram.ctrl.readQueueSize = q;
-        bc.dram.ctrl.writeQueueSize = q;
-        bc.dram.ctrl.writeHiWatermark = 3 * q / 4;
-        bc.dram.ctrl.writeLoWatermark = q / 4;
-        SystemConfig dc = SystemConfig::withDx100();
-        dc.dram.ctrl = bc.dram.ctrl;
-        const Result r = run(bc, dc);
-        std::printf("%-14u %12llu %12llu %8.2fx\n", q,
-                    static_cast<unsigned long long>(r.baseCycles),
-                    static_cast<unsigned long long>(r.dxCycles),
-                    static_cast<double>(r.baseCycles) / r.dxCycles);
-    }
-
-    std::printf("\n--- DX100 fill rate (indices/cycle) ---\n");
-    std::printf("%-14s %12s %7s\n", "fill rate", "dx100", "dx bw");
-    for (unsigned f : {2u, 4u, 8u, 16u, 32u}) {
-        SystemConfig dc = SystemConfig::withDx100();
-        dc.dx.fillRate = f;
-        const Result r = run(SystemConfig::baseline(), dc);
-        std::printf("%-14u %12llu %6.1f%%\n", f,
-                    static_cast<unsigned long long>(r.dxCycles),
-                    r.dxBw * 100);
-    }
-
-    std::printf("\n--- Row Table rows per slice ---\n");
-    std::printf("%-14s %12s %7s\n", "rows/slice", "dx100", "dx bw");
-    for (unsigned rows : {8u, 16u, 32u, 64u, 128u}) {
-        SystemConfig dc = SystemConfig::withDx100();
-        dc.dx.rowsPerSlice = rows;
-        const Result r = run(SystemConfig::baseline(), dc);
-        std::printf("%-14u %12llu %6.1f%%\n", rows,
-                    static_cast<unsigned long long>(r.dxCycles),
-                    r.dxBw * 100);
-    }
-    return 0;
+    const MatrixResult result = ablationMatrix().run(opt);
+    formatAblationTables(result);
+    maybeWriteJson(result, "table_ablation", opt);
+    return result.failures() == 0 ? 0 : 1;
 }

@@ -2,36 +2,97 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace dx
 {
+
+namespace
+{
+
+/** Serializes every log line emitted by any thread. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread prefix prepended to warn/inform/fatal lines. */
+thread_local std::string tlLogPrefix;
+
+/** When set, dx_fatal on this thread throws instead of exiting. */
+thread_local bool tlFatalThrows = false;
+
+void
+emit(const char *kind, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s%s: %s\n", tlLogPrefix.c_str(), kind,
+                 msg.c_str());
+}
+
+} // namespace
+
+ScopedFatalThrow::ScopedFatalThrow() : prev_(tlFatalThrows)
+{
+    tlFatalThrows = true;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    tlFatalThrows = prev_;
+}
+
+ScopedLogPrefix::ScopedLogPrefix(std::string prefix)
+    : prev_(std::move(tlLogPrefix))
+{
+    tlLogPrefix = std::move(prefix);
+}
+
+ScopedLogPrefix::~ScopedLogPrefix()
+{
+    tlLogPrefix = std::move(prev_);
+}
+
 namespace detail
 {
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "%spanic: %s (%s:%d)\n",
+                     tlLogPrefix.c_str(), msg.c_str(), file, line);
+    }
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (tlFatalThrows)
+        throw FatalError(msg);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "%sfatal: %s (%s:%d)\n",
+                     tlLogPrefix.c_str(), msg.c_str(), file, line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("info", msg);
 }
 
 } // namespace detail

@@ -4,16 +4,68 @@
  *
  * panic() is for internal simulator bugs (aborts), fatal() for user
  * configuration errors (exit(1)), warn()/inform() for diagnostics.
+ *
+ * The reporting path is thread-clean: all output is serialized under a
+ * process-wide mutex, and a per-thread prefix (ScopedLogPrefix) lets
+ * concurrent experiment jobs tag their diagnostics. A worker thread may
+ * install ScopedFatalThrow to turn dx_fatal into a catchable FatalError
+ * so one failed run does not kill the whole experiment matrix.
  */
 
 #ifndef DX_COMMON_LOGGING_HH
 #define DX_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace dx
 {
+
+/**
+ * Thrown instead of exiting when a ScopedFatalThrow is active on the
+ * calling thread (see below). Carries the formatted fatal message.
+ */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive, dx_fatal on *this thread* throws FatalError instead of
+ * calling exit(1). Used by the parallel experiment runner to isolate a
+ * failed run: the job reports its error and the rest of the matrix
+ * continues. dx_panic still aborts — a panic is a simulator bug and the
+ * process state cannot be trusted.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * While alive, every warn/inform/fatal line emitted by *this thread* is
+ * prefixed with @p prefix (e.g. "[IS/dx100] "). Nests: the previous
+ * prefix is restored on destruction.
+ */
+class ScopedLogPrefix
+{
+  public:
+    explicit ScopedLogPrefix(std::string prefix);
+    ~ScopedLogPrefix();
+    ScopedLogPrefix(const ScopedLogPrefix &) = delete;
+    ScopedLogPrefix &operator=(const ScopedLogPrefix &) = delete;
+
+  private:
+    std::string prev_;
+};
 
 namespace detail
 {

@@ -1,15 +1,60 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <thread>
+
+#include <unistd.h>
 
 #include "common/logging.hh"
 
 namespace dx::sim
 {
+
+namespace
+{
+
+const char kUsage[] =
+    " (supported: --scale=<f|small|paper>, --jobs=<n>, --json, "
+    "--no-cache, --cache-dir=<dir>)";
+
+/** stod that rejects trailing garbage; nullopt on any parse failure. */
+std::optional<double>
+parseDouble(const std::string &v)
+{
+    try {
+        std::size_t pos = 0;
+        const double d = std::stod(v, &pos);
+        if (pos != v.size())
+            return std::nullopt;
+        return d;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+std::optional<unsigned>
+parseUnsigned(const std::string &v)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long n = std::stoul(v, &pos);
+        if (pos != v.size() || v.empty() || v[0] == '-' ||
+            n > std::numeric_limits<unsigned>::max()) {
+            return std::nullopt;
+        }
+        return static_cast<unsigned>(n);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
 
 ExpOptions
 ExpOptions::parse(int argc, char **argv)
@@ -19,40 +64,59 @@ ExpOptions::parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg.rfind("--scale=", 0) == 0) {
             const std::string v = arg.substr(8);
-            if (v == "small")
+            if (v == "small") {
                 opt.scale = 0.25;
-            else if (v == "paper")
+            } else if (v == "paper") {
                 opt.scale = 1.0;
-            else
-                opt.scale = std::stod(v);
+            } else {
+                const auto d = parseDouble(v);
+                if (!d || *d <= 0.0) {
+                    dx_fatal("bad --scale value '", v,
+                             "': expected a positive number, 'small' "
+                             "or 'paper'", kUsage);
+                }
+                opt.scale = *d;
+            }
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const std::string v = arg.substr(7);
+            const auto n = parseUnsigned(v);
+            if (!n || *n == 0) {
+                dx_fatal("bad --jobs value '", v,
+                         "': expected a positive integer", kUsage);
+            }
+            opt.jobs = *n;
+        } else if (arg == "--json") {
+            opt.json = true;
         } else if (arg == "--no-cache") {
             opt.useCache = false;
         } else if (arg.rfind("--cache-dir=", 0) == 0) {
             opt.cacheDir = arg.substr(12);
+            if (opt.cacheDir.empty())
+                dx_fatal("bad --cache-dir: empty path", kUsage);
         } else {
-            dx_fatal("unknown bench option: ", arg,
-                     " (supported: --scale=<f|small|paper>, "
-                     "--no-cache, --cache-dir=<dir>)");
+            dx_fatal("unknown bench option: ", arg, kUsage);
         }
     }
     return opt;
+}
+
+unsigned
+ExpOptions::effectiveJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 std::string
 serializeStats(const RunStats &s)
 {
     std::ostringstream os;
-    os << "cycles " << s.cycles << "\n"
-       << "instructions " << s.instructions << "\n"
-       << "ipc " << s.ipc << "\n"
-       << "bandwidthUtil " << s.bandwidthUtil << "\n"
-       << "rowBufferHitRate " << s.rowBufferHitRate << "\n"
-       << "requestBufferOccupancy " << s.requestBufferOccupancy << "\n"
-       << "dramLines " << s.dramLines << "\n"
-       << "llcMpki " << s.llcMpki << "\n"
-       << "l2Mpki " << s.l2Mpki << "\n"
-       << "coalescingFactor " << s.coalescingFactor << "\n"
-       << "dxInstructions " << s.dxInstructions << "\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    s.forEachField([&](const char *name, auto value) {
+        os << name << " " << value << "\n";
+    });
     return os.str();
 }
 
@@ -63,37 +127,86 @@ parseStats(const std::string &text)
     std::istringstream is(text);
     std::string key;
     double value;
-    int fields = 0;
+    std::size_t fields = 0;
     while (is >> key >> value) {
-        ++fields;
-        if (key == "cycles")
-            s.cycles = static_cast<Cycle>(value);
-        else if (key == "instructions")
-            s.instructions = static_cast<std::uint64_t>(value);
-        else if (key == "ipc")
-            s.ipc = value;
-        else if (key == "bandwidthUtil")
-            s.bandwidthUtil = value;
-        else if (key == "rowBufferHitRate")
-            s.rowBufferHitRate = value;
-        else if (key == "requestBufferOccupancy")
-            s.requestBufferOccupancy = value;
-        else if (key == "dramLines")
-            s.dramLines = static_cast<std::uint64_t>(value);
-        else if (key == "llcMpki")
-            s.llcMpki = value;
-        else if (key == "l2Mpki")
-            s.l2Mpki = value;
-        else if (key == "coalescingFactor")
-            s.coalescingFactor = value;
-        else if (key == "dxInstructions")
-            s.dxInstructions = static_cast<std::uint64_t>(value);
-        else
-            --fields;
+        if (s.setField(key, value))
+            ++fields;
     }
-    if (fields < 8)
+    // An entry missing schema fields is treated as corrupt: older
+    // cache files (or truncated writes) must not shadow a fresh run.
+    if (fields < RunStats::fieldCount())
         return std::nullopt;
     return s;
+}
+
+std::string
+statsToJson(const RunStats &s)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "{";
+    bool first = true;
+    s.forEachField([&](const char *name, auto value) {
+        os << (first ? "" : ", ") << "\"" << name << "\": " << +value;
+        first = false;
+    });
+    os << "}";
+    return os.str();
+}
+
+std::filesystem::path
+cachePath(const std::string &cacheDir, const std::string &workload,
+          const std::string &configTag, double scale)
+{
+    std::ostringstream key;
+    key << workload << "_" << configTag << "_s" << scale << ".stats";
+    return std::filesystem::path(cacheDir) / key.str();
+}
+
+std::optional<RunStats>
+loadCachedStats(const std::filesystem::path &p)
+{
+    std::ifstream in(p);
+    if (!in)
+        return std::nullopt;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return parseStats(buf.str());
+}
+
+void
+storeCachedStats(const std::filesystem::path &p, const RunStats &s)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) {
+        dx_fatal("cannot create cache directory ",
+                 p.parent_path().string(), ": ", ec.message());
+    }
+
+    // Unique temp name per process and store: concurrent writers of
+    // the same cell each build their own file, then the atomic rename
+    // makes one of them the entry — never a torn mix of both.
+    static std::atomic<unsigned> counter{0};
+    std::ostringstream tmpName;
+    tmpName << p.filename().string() << ".tmp." << ::getpid() << "."
+            << counter.fetch_add(1);
+    const fs::path tmp = p.parent_path() / tmpName.str();
+
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            dx_fatal("cannot write cache entry ", tmp.string());
+        }
+        out << serializeStats(s);
+    }
+    fs::rename(tmp, p, ec);
+    if (ec) {
+        fs::remove(tmp);
+        dx_fatal("cannot publish cache entry ", p.string(), ": ",
+                 ec.message());
+    }
 }
 
 RunStats
@@ -117,33 +230,22 @@ RunStats
 runWorkload(const wl::WorkloadEntry &entry, const SystemConfig &cfg,
             const std::string &configTag, const ExpOptions &opt)
 {
-    namespace fs = std::filesystem;
-    std::ostringstream key;
-    key << entry.name << "_" << configTag << "_s" << opt.scale
-        << ".stats";
-    const fs::path path = fs::path(opt.cacheDir) / key.str();
+    const std::filesystem::path path =
+        cachePath(opt.cacheDir, entry.name, configTag, opt.scale);
 
-    if (opt.useCache && fs::exists(path)) {
-        std::ifstream in(path);
-        std::stringstream buf;
-        buf << in.rdbuf();
-        if (auto cached = parseStats(buf.str())) {
-            std::fprintf(stderr, "  [cached] %s %s\n",
-                         entry.name.c_str(), configTag.c_str());
+    if (opt.useCache) {
+        if (auto cached = loadCachedStats(path)) {
+            dx_inform("[cached] ", entry.name, " ", configTag);
             return *cached;
         }
     }
 
-    std::fprintf(stderr, "  [run] %s %s ...\n", entry.name.c_str(),
-                 configTag.c_str());
+    dx_inform("[run] ", entry.name, " ", configTag, " ...");
     auto w = entry.make(wl::Scale{opt.scale});
     const RunStats stats = runWorkloadOnce(*w, cfg);
 
-    if (opt.useCache) {
-        fs::create_directories(opt.cacheDir);
-        std::ofstream out(path);
-        out << serializeStats(stats);
-    }
+    if (opt.useCache)
+        storeCachedStats(path, stats);
     return stats;
 }
 
@@ -163,7 +265,8 @@ printBenchHeader(const std::string &title, const ExpOptions &opt)
 {
     std::printf("==========================================================\n");
     std::printf("%s\n", title.c_str());
-    std::printf("scale=%.3g cache=%s\n", opt.scale,
+    std::printf("scale=%.3g jobs=%u cache=%s\n", opt.scale,
+                opt.effectiveJobs(),
                 opt.useCache ? opt.cacheDir.c_str() : "off");
     std::printf("==========================================================\n");
 }

@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <atomic>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -68,23 +69,60 @@ SystemConfig::withDmp(unsigned cores)
     return cfg;
 }
 
+bool
+RunStats::setField(const std::string &name, double value)
+{
+#define DX_STAT_SET(fname, type) \
+    if (name == #fname) { \
+        fname = static_cast<type>(value); \
+        return true; \
+    }
+    DX_RUN_STATS_SCHEMA(DX_STAT_SET)
+#undef DX_STAT_SET
+    return false;
+}
+
+bool
+RunStats::operator==(const RunStats &o) const
+{
+#define DX_STAT_EQ(fname, type) \
+    if (fname != o.fname) \
+        return false;
+    DX_RUN_STATS_SCHEMA(DX_STAT_EQ)
+#undef DX_STAT_EQ
+    return true;
+}
+
 std::string
 RunStats::toString() const
 {
     std::ostringstream os;
-    os << "cycles=" << cycles << " instr=" << instructions
-       << " ipc=" << ipc << " bw=" << bandwidthUtil
-       << " rbh=" << rowBufferHitRate
-       << " occ=" << requestBufferOccupancy << " llcMpki=" << llcMpki
-       << " l2Mpki=" << l2Mpki << " dramLines=" << dramLines;
-    if (dxInstructions)
-        os << " dxInstr=" << dxInstructions
-           << " coalesce=" << coalescingFactor;
+    bool first = true;
+    forEachField([&](const char *name, auto value) {
+        os << (first ? "" : " ") << name << "=" << value;
+        first = false;
+    });
     return os.str();
+}
+
+namespace
+{
+
+/** The only cross-System shared state; see System::liveSystems(). */
+std::atomic<unsigned> gLiveSystems{0};
+
+} // namespace
+
+unsigned
+System::liveSystems()
+{
+    return gLiveSystems.load(std::memory_order_relaxed);
 }
 
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
+    dx_assert(cfg_.cores > 0, "a System needs at least one core");
+    gLiveSystems.fetch_add(1, std::memory_order_relaxed);
     dram_ = std::make_unique<mem::DramSystem>(cfg_.dram);
     dramPort_ = std::make_unique<cache::DramPort>(*dram_);
     router_ = std::make_unique<cache::RangeRouter>(*dramPort_);
@@ -159,9 +197,22 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         if (auto *dev = dx100For(i))
             cores_[i]->setMmioDevice(dev);
     }
+
+    // Parallel-safety invariant: every component this System ticks is
+    // owned by this instance (no component registry, no global memory
+    // pool). Check the ownership edges that matter.
+    dx_assert(l1s_.size() == cfg_.cores &&
+                  l2s_.size() == cfg_.cores &&
+                  cores_.size() == cfg_.cores,
+              "System must own one L1/L2/core per configured core");
+    dx_assert(dxs_.size() == cfg_.dx100Instances,
+              "System must own every configured DX100 instance");
 }
 
-System::~System() = default;
+System::~System()
+{
+    gLiveSystems.fetch_sub(1, std::memory_order_relaxed);
+}
 
 dx100::Dx100 *
 System::dx100For(unsigned coreId)

@@ -8,6 +8,8 @@
 #ifndef DX_SIM_SYSTEM_HH
 #define DX_SIM_SYSTEM_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,20 +60,71 @@ struct SystemConfig
     static SystemConfig withDmp(unsigned cores = 4);
 };
 
+/**
+ * The RunStats schema, defined exactly once. X(field, type) is expanded
+ * to declare the struct fields, the field visitors, serializeStats,
+ * parseStats, toString and the JSON emitter — adding a stat is a
+ * one-line change here and every producer/consumer picks it up.
+ *
+ *   cycles                  region-of-interest cycles
+ *   instructions            committed, all cores
+ *   ipc                     instructions / cycles
+ *   bandwidthUtil           DRAM data-bus utilization
+ *   rowBufferHitRate        DRAM row-buffer hit fraction
+ *   requestBufferOccupancy  mean controller queue occupancy
+ *   dramLines               cache lines moved to/from DRAM
+ *   llcMpki                 LLC demand misses / kilo-instruction
+ *   l2Mpki                  L2 demand misses / kilo-instruction
+ *   coalescingFactor        DX100 words per DRAM column access
+ *   dxInstructions          DX100 instructions retired
+ */
+#define DX_RUN_STATS_SCHEMA(X) \
+    X(cycles, Cycle) \
+    X(instructions, std::uint64_t) \
+    X(ipc, double) \
+    X(bandwidthUtil, double) \
+    X(rowBufferHitRate, double) \
+    X(requestBufferOccupancy, double) \
+    X(dramLines, std::uint64_t) \
+    X(llcMpki, double) \
+    X(l2Mpki, double) \
+    X(coalescingFactor, double) \
+    X(dxInstructions, std::uint64_t)
+
 /** Flat summary of a finished run (feeds EXPERIMENTS.md tables). */
 struct RunStats
 {
-    Cycle cycles = 0;
-    std::uint64_t instructions = 0;  //!< committed, all cores
-    double ipc = 0.0;
-    double bandwidthUtil = 0.0;      //!< DRAM data-bus utilization
-    double rowBufferHitRate = 0.0;
-    double requestBufferOccupancy = 0.0;
-    std::uint64_t dramLines = 0;
-    double llcMpki = 0.0;            //!< LLC demand misses / kilo-instr
-    double l2Mpki = 0.0;
-    double coalescingFactor = 0.0;   //!< DX100 words per DRAM column
-    std::uint64_t dxInstructions = 0;
+#define DX_STAT_FIELD(name, type) type name = {};
+    DX_RUN_STATS_SCHEMA(DX_STAT_FIELD)
+#undef DX_STAT_FIELD
+
+    /** Number of fields in the schema. */
+    static constexpr std::size_t
+    fieldCount()
+    {
+#define DX_STAT_COUNT(name, type) +1
+        return std::size_t{0} DX_RUN_STATS_SCHEMA(DX_STAT_COUNT);
+#undef DX_STAT_COUNT
+    }
+
+    /** Visit every (name, value) pair in schema order. */
+    template <typename F>
+    void
+    forEachField(F &&f) const
+    {
+#define DX_STAT_VISIT(name, type) f(#name, name);
+        DX_RUN_STATS_SCHEMA(DX_STAT_VISIT)
+#undef DX_STAT_VISIT
+    }
+
+    /**
+     * Assign the field called @p name from @p value (cast to the
+     * field's declared type). Returns false for unknown names.
+     */
+    bool setField(const std::string &name, double value);
+
+    /** True when every schema field compares exactly equal. */
+    bool operator==(const RunStats &o) const;
 
     std::string toString() const;
 };
@@ -117,6 +170,17 @@ class System
     RunStats collectStats() const;
 
     const SystemConfig &config() const { return cfg_; }
+
+    /**
+     * Number of System instances currently alive in the process.
+     *
+     * A System owns every component it ticks (memory, caches, cores,
+     * DRAM, DX100 instances); this counter is the *only* mutable state
+     * shared across instances, which is what makes independent Systems
+     * safe to run on concurrent threads (see sim/parallel_runner.hh).
+     * The constructor asserts that invariant where it can be checked.
+     */
+    static unsigned liveSystems();
 
   private:
     SystemConfig cfg_;
