@@ -12,6 +12,7 @@ Cache::Cache(const Config &cfg, CachePort *downstream)
     : cfg_(cfg), downstream_(downstream)
 {
     dx_assert(downstream_, "cache needs a downstream port");
+    downstreamPopAddr_ = downstream_->portPopCountAddr();
     const std::uint64_t lines = cfg_.sizeBytes / kLineBytes;
     dx_assert(lines % cfg_.assoc == 0, "size/assoc mismatch");
     numSets_ = static_cast<unsigned>(lines / cfg_.assoc);
@@ -74,6 +75,21 @@ void
 Cache::portRequest(const CacheReq &req)
 {
     dx_assert(portCanAccept(), cfg_.name, ": input queue overflow");
+    if (queue_.empty()) {
+        // The push below becomes the new head: every head-derived memo
+        // must go, and a kTimed "nothing until sleepUntil_" verdict
+        // tightens to the new head's service time.
+        selfValid_ = false;
+        memoValid_ = false;
+        if (qMemo_ == QMemo::kTimed)
+            sleepUntil_ = std::min(sleepUntil_, now_ + cfg_.latency);
+        else
+            qMemo_ = QMemo::kNone;
+    }
+    // Non-empty queue: the head (and thus its stall classification and
+    // any quiescence verdict) is untouched — the queue is served in
+    // order, so an entry behind the head cannot act before it. The
+    // memos survive the arrival.
     queue_.push_back({req, now_ + cfg_.latency});
 }
 
@@ -104,6 +120,9 @@ Cache::tagsHold(Addr line) const
 bool
 Cache::invalidateLine(Addr line)
 {
+    selfValid_ = false;
+    qMemo_ = QMemo::kNone;
+    memoValid_ = false;
     line = lineAlign(line);
     auto &set = sets_[setIndex(line)];
     for (auto &way : set) {
@@ -119,6 +138,15 @@ Cache::invalidateLine(Addr line)
 void
 Cache::installLine(Addr line, bool dirty, bool prefetched)
 {
+    // Installing a line other than the head's cannot break a kForward
+    // verdict (the head still misses: evictions only remove lines the
+    // head was not hitting anyway — see cacheResponse). Any other
+    // class, or an install of the head's own line, must reclassify.
+    if (selfClass_ != SelfClass::kForward ||
+        (!queue_.empty() && lineAlign(queue_.front().req.addr) == line))
+        selfValid_ = false;
+    qMemo_ = QMemo::kNone;
+    memoValid_ = false;
     auto &set = sets_[setIndex(line)];
 
     // Refill of a line that is already present (e.g. a full-line write
@@ -252,6 +280,7 @@ Cache::processRequest(const CacheReq &req)
 
     Mshr &m = mshrs_[static_cast<unsigned>(idx)];
     m.valid = true;
+    ++mshrsInUse_;
     m.line = line;
     m.dirtyOnFill = req.write;
     m.prefetch = req.origin == mem::Origin::kPrefetch;
@@ -277,6 +306,17 @@ void
 Cache::cacheResponse(std::uint64_t tag)
 {
     dx_assert(tag < mshrs_.size(), cfg_.name, ": bogus fill tag");
+    // A fill cannot break a kForward verdict: it frees an MSHR (one
+    // stays free), installs a line that by construction is not the
+    // head's (a head with an MSHR in flight would have classified as
+    // coalesce or target-full), and evicts at most a line the head
+    // already missed on. Every other class can genuinely change —
+    // a freed MSHR unblocks kMshrFull, a fill can turn kNone's hit
+    // into a miss via eviction — so those reclassify.
+    if (selfClass_ != SelfClass::kForward)
+        selfValid_ = false;
+    qMemo_ = QMemo::kNone;
+    memoValid_ = false;
     Mshr &m = mshrs_[tag];
     dx_assert(m.valid, cfg_.name, ": fill for idle MSHR");
 
@@ -289,6 +329,8 @@ Cache::cacheResponse(std::uint64_t tag)
             t.sink->cacheResponse(t.tag);
     }
     m = Mshr{};
+    dx_assert(mshrsInUse_ > 0, cfg_.name, ": MSHR count underflow");
+    --mshrsInUse_;
 }
 
 void
@@ -327,6 +369,7 @@ Cache::issuePrefetches()
 
         Mshr &m = mshrs_[static_cast<unsigned>(idx)];
         m.valid = true;
+        ++mshrsInUse_;
         m.line = lineAlign(line);
         m.dirtyOnFill = false;
         m.prefetch = true;
@@ -346,6 +389,9 @@ void
 Cache::tick()
 {
     ++now_;
+    memoValid_ = false;
+    selfValid_ = false;
+    qMemo_ = QMemo::kNone;
     drainWritebacks();
 
     for (unsigned n = 0; n < cfg_.width && !queue_.empty(); ++n) {
@@ -355,6 +401,7 @@ Cache::tick()
         if (!processRequest(p.req))
             break; // structural stall: retry next cycle
         queue_.pop_front();
+        ++popCount_; // a waiter upstream may be watching for space
     }
 
     issuePrefetches();
@@ -386,13 +433,138 @@ Cache::debugDump() const
 bool
 Cache::busy() const
 {
-    if (!queue_.empty() || !writebacks_.empty())
-        return true;
-    for (const auto &m : mshrs_) {
-        if (m.valid)
-            return true;
+    return !queue_.empty() || !writebacks_.empty() || mshrsInUse_ > 0;
+}
+
+bool
+Cache::drained() const
+{
+    return !busy() && (!prefetcher_ || !prefetcher_->pending());
+}
+
+Cache::HeadStall
+Cache::headStall() const
+{
+    const Addr line = lineAlign(queue_.front().req.addr);
+    if (!selfValid_) {
+        const CacheReq &req = queue_.front().req;
+        if (tagsHold(line) || (req.write && req.fullLine)) {
+            // Hit, or a full-line write allocating in place.
+            selfClass_ = SelfClass::kNone;
+        } else if (const int existing = mshrFor(line); existing >= 0) {
+            const Mshr &m = mshrs_[static_cast<unsigned>(existing)];
+            selfClass_ = m.targets.size() >= cfg_.targetsPerMshr
+                             ? SelfClass::kMshrFull
+                             : SelfClass::kNone; // coalesce (or drop)
+        } else if (mshrsInUse_ >= cfg_.mshrs) {
+            selfClass_ = SelfClass::kMshrFull;
+        } else {
+            selfClass_ = SelfClass::kForward;
+        }
+        selfValid_ = true;
     }
-    return false;
+    switch (selfClass_) {
+      case SelfClass::kNone:
+        return HeadStall::kNone;
+      case SelfClass::kMshrFull:
+        return HeadStall::kMshrFull;
+      case SelfClass::kForward:
+        break;
+    }
+    CacheReq probe;
+    probe.addr = line;
+    return downstream_->portCanAcceptReq(probe) ? HeadStall::kNone
+                                                : HeadStall::kDownstream;
+}
+
+bool
+Cache::quiescentSlow() const
+{
+    // Memoized verdicts: nothing the slow path reads has changed since
+    // it last ran (see the QMemo member comment for the argument).
+    if (qMemo_ == QMemo::kTimed && now_ + 1 < sleepUntil_)
+        return true;
+    if (qMemo_ == QMemo::kBlocked &&
+        downstream_->portPopCount() == blockedPops_) {
+        return true;
+    }
+    qMemo_ = QMemo::kNone;
+
+    if (!writebacks_.empty() ||
+        (prefetcher_ && prefetcher_->pending())) {
+        return false;
+    }
+    if (queue_.empty()) {
+        qMemo_ = QMemo::kTimed;
+        sleepUntil_ = kNeverCycle;
+        return true;
+    }
+    if (queue_.front().readyAt > now_ + 1) {
+        qMemo_ = QMemo::kTimed;
+        sleepUntil_ = queue_.front().readyAt;
+        return true;
+    }
+    // Due head: quiescent only if the retry would structurally stall,
+    // in which case its sole effect is the stall counter skipCycles()
+    // accumulates. Nothing the stall depends on (MSHRs, downstream
+    // queue space) can change except through external stimulus, which
+    // re-evaluates quiescence.
+    memoStall_ = headStall();
+    memoValid_ = true;
+    switch (memoStall_) {
+      case HeadStall::kNone:
+        return false;
+      case HeadStall::kMshrFull:
+        // Unblocks only via a fill, which clears the memo.
+        qMemo_ = QMemo::kTimed;
+        sleepUntil_ = kNeverCycle;
+        return true;
+      case HeadStall::kDownstream: {
+        const std::uint64_t pops = downstreamPopAddr_
+                                       ? *downstreamPopAddr_
+                                       : downstream_->portPopCount();
+        if (pops != kPortPopsUnknown) {
+            qMemo_ = QMemo::kBlocked;
+            blockedPops_ = pops;
+        }
+        return true;
+      }
+    }
+    return true; // unreachable
+}
+
+Cycle
+Cache::nextEventAtSlow() const
+{
+    // The input queue is served in order, so only the head can become
+    // due; MSHR fills arrive via cacheResponse (external stimulus). A
+    // due-but-stalled head also unblocks only via external stimulus,
+    // and entries behind it are blocked in order.
+    if (queue_.empty())
+        return kNeverCycle;
+    const Cycle readyAt = queue_.front().readyAt;
+    return readyAt > now_ + 1 ? readyAt : kNeverCycle;
+}
+
+void
+Cache::skipCyclesSlow(Cycle n)
+{
+    if (!queue_.empty() && queue_.front().readyAt <= now_ + 1) {
+        // The memo persists across skips: it is cleared by the entry
+        // points that can change the classification, not consumed here.
+        const HeadStall stall = memoValid_ ? memoStall_ : headStall();
+        switch (stall) {
+          case HeadStall::kMshrFull:
+            stats_.stallMshrFull += n;
+            break;
+          case HeadStall::kDownstream:
+            stats_.stallDownstream += n;
+            break;
+          case HeadStall::kNone:
+            break;
+        }
+    }
+    now_ += n;
 }
 
 } // namespace dx::cache

@@ -70,6 +70,12 @@ class Cache : public CachePort, public CacheRespSink
     // CachePort (upstream-facing).
     bool portCanAccept() const override;
     void portRequest(const CacheReq &req) override;
+    std::uint64_t portPopCount() const override { return popCount_; }
+    const std::uint64_t *
+    portPopCountAddr() const override
+    {
+        return &popCount_;
+    }
 
     // CacheRespSink (downstream fill responses).
     void cacheResponse(std::uint64_t tag) override;
@@ -77,8 +83,87 @@ class Cache : public CachePort, public CacheRespSink
     /** Advance one core cycle. */
     void tick();
 
+    /**
+     * Quiescence contract (see DESIGN.md): tick() would change nothing
+     * but the closed-form per-cycle stats — no processable queue entry,
+     * no writeback awaiting drain, no prefetch candidate. A due head
+     * that would structurally stall (MSHR/downstream full) *is*
+     * quiescent: the retry's only effect is a stall counter, which
+     * skipCycles() accumulates closed-form.
+     *
+     * Inline fast path: the scheduler probes every component every
+     * cycle, so the common long-lived kTimed memo must cost two
+     * compares at the call site, not a cross-TU call.
+     */
+    bool
+    quiescent() const
+    {
+        if (qMemo_ == QMemo::kTimed && now_ + 1 < sleepUntil_)
+            return true;
+        // Downstream-blocked head: valid while the gating resource's
+        // departure count is unmoved (arrivals never free space). The
+        // cached counter address dodges a virtual call per probe.
+        if (qMemo_ == QMemo::kBlocked && downstreamPopAddr_ &&
+            *downstreamPopAddr_ == blockedPops_) {
+            return true;
+        }
+        return quiescentSlow();
+    }
+
+    /**
+     * Earliest cycle tick() could act again without external stimulus;
+     * kNeverCycle when only a new request or a fill can wake us. Only
+     * meaningful while quiescent() — which (re)establishes the kTimed
+     * memo this fast path returns.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        if (qMemo_ == QMemo::kTimed)
+            return sleepUntil_;
+        // A kBlocked head is due-but-stalled: no timed self-event, only
+        // external stimulus can wake it (matches nextEventAtSlow()).
+        if (qMemo_ == QMemo::kBlocked)
+            return kNeverCycle;
+        return nextEventAtSlow();
+    }
+
+    /**
+     * Closed-form advance over @p n cycles the caller has proven
+     * quiescent (quiescent() holds and nextEventAt() > now + n),
+     * accumulating the per-cycle stall counter a due-but-stalled head
+     * would have bumped. Inline fast path: no due head, nothing to
+     * accumulate but the clock.
+     */
+    void
+    skipCycles(Cycle n)
+    {
+        // kBlocked is only ever established for a due head stalled on
+        // the downstream port, so the accumulated counter is fixed.
+        if (qMemo_ == QMemo::kBlocked) {
+            stats_.stallDownstream += n;
+            now_ += n;
+            return;
+        }
+        if (queue_.empty() || queue_.front().readyAt > now_ + 1) {
+            now_ += n;
+            return;
+        }
+        skipCyclesSlow(n);
+    }
+
+    /** This cache's clock (kept in sync with the System clock). */
+    Cycle localNow() const { return now_; }
+
     /** True if any request, MSHR or writeback is in flight. */
     bool busy() const;
+
+    /**
+     * Nothing in flight *and* no prefetch candidates queued: the
+     * termination-side twin of quiescent(), used by System::run so a
+     * run cannot end with requests still pending.
+     */
+    bool drained() const;
 
     /** Snoop: line present (or being filled) at this level? */
     bool containsLine(Addr line) const;
@@ -146,6 +231,80 @@ class Cache : public CachePort, public CacheRespSink
     /** Process one queued request; false => stall, leave at head. */
     bool processRequest(const CacheReq &req);
 
+    /**
+     * Why processRequest(queue_.front()) would stall this cycle
+     * (kNone = it would make progress). Mirrors processRequest's stall
+     * paths exactly; shared by quiescent() and skipCycles() so skipped
+     * stall counters match the naive loop's bit-for-bit.
+     */
+    enum class HeadStall : std::uint8_t
+    {
+        kNone,
+        kMshrFull,
+        kDownstream,
+    };
+    HeadStall headStall() const;
+
+    // Out-of-line halves of the quiescence API: everything past the
+    // header-inlined memo checks.
+    bool quiescentSlow() const;
+    Cycle nextEventAtSlow() const;
+    void skipCyclesSlow(Cycle n);
+
+    /**
+     * One-decision memo: quiescent() stores the headStall() it computed
+     * so the skipCycles() that immediately follows (same cycle, no
+     * intervening state change) reuses it instead of re-scanning the
+     * MSHRs. Consumed-and-cleared by skipCycles(); never carried across
+     * cycles because downstream queue space can change without this
+     * cache seeing a call.
+     */
+    mutable HeadStall memoStall_ = HeadStall::kNone;
+    mutable bool memoValid_ = false;
+
+    /**
+     * Cross-cycle memo of headStall()'s *own-state* part: everything
+     * the classification reads except downstream queue space (tag
+     * store, MSHR occupancy, the head request) only changes through
+     * this cache's own entry points, so the expensive scans run once
+     * per state change instead of once per scheduler query. kForward
+     * ("would allocate and forward") still rechecks the downstream
+     * port on every query — that state changes behind our back.
+     */
+    enum class SelfClass : std::uint8_t
+    {
+        kNone,     //!< head would make progress regardless of downstream
+        kMshrFull, //!< MSHR or coalesce-target structural stall
+        kForward,  //!< would forward if the downstream port accepts
+    };
+    mutable SelfClass selfClass_ = SelfClass::kNone;
+    mutable bool selfValid_ = false;
+
+    /**
+     * Cross-cycle memo of the whole quiescent() verdict, so the common
+     * long-lived idle shapes cost one compare per scheduler query:
+     *  - kTimed: idle (or head not yet due) until sleepUntil_; every
+     *    state the verdict reads only moves through this cache's entry
+     *    points, which clear the memo.
+     *  - kBlocked: head due but stalled on a full downstream port;
+     *    still stalled as long as the port's departure count has not
+     *    moved (arrivals never free space).
+     * Cleared by tick(), portRequest(), cacheResponse(),
+     * invalidateLine() and installLine().
+     */
+    enum class QMemo : std::uint8_t
+    {
+        kNone,
+        kTimed,
+        kBlocked,
+    };
+    mutable QMemo qMemo_ = QMemo::kNone;
+    mutable Cycle sleepUntil_ = 0;
+    mutable std::uint64_t blockedPops_ = 0;
+    //! Downstream pop counter, resolved once at wiring (null when the
+    //! port aggregates or does not track departures).
+    const std::uint64_t *downstreamPopAddr_ = nullptr;
+
     void issuePrefetches();
     void drainWritebacks();
 
@@ -157,8 +316,10 @@ class Cache : public CachePort, public CacheRespSink
     unsigned numSets_;
     std::vector<std::vector<Way>> sets_;
     std::vector<Mshr> mshrs_;
+    unsigned mshrsInUse_ = 0; //!< live entries in mshrs_ (O(1) busy())
     std::deque<Pending> queue_;
     std::deque<Addr> writebacks_; //!< dirty victim lines awaiting drain
+    std::uint64_t popCount_ = 0;  //!< input-queue departures (portPopCount)
 
     Cycle now_ = 0;
     std::uint64_t useCounter_ = 0;

@@ -35,12 +35,39 @@ struct CacheReq
     CacheRespSink *sink = nullptr;
 };
 
+/** portPopCount() value for ports that do not track departures. */
+inline constexpr std::uint64_t kPortPopsUnknown = ~std::uint64_t{0};
+
 /** Anything a cache can send misses to (a lower cache, DRAM, DX100). */
 class CachePort
 {
   public:
     virtual ~CachePort() = default;
     virtual bool portCanAccept() const = 0;
+
+    /**
+     * Monotonic count of departures from whatever resource gates
+     * admission here (queue pops, command issues). Arrivals never free
+     * space, so a waiter that found the port full may cache that
+     * verdict and re-probe only when the count moves instead of every
+     * cycle — the scheduler's cheap alternative to per-cycle polling.
+     * Ports that do not track departures return kPortPopsUnknown,
+     * which waiters must treat as "never cache".
+     */
+    virtual std::uint64_t portPopCount() const { return kPortPopsUnknown; }
+
+    /**
+     * Stable address of the counter portPopCount() reads, for waiters
+     * that probe it every cycle (the quiescence fast paths): one load
+     * instead of a virtual call. Null when the count is aggregated or
+     * untracked — callers must then fall back to portPopCount(). The
+     * address must stay valid and live-updating for the port's
+     * lifetime.
+     */
+    virtual const std::uint64_t *portPopCountAddr() const
+    {
+        return nullptr;
+    }
 
     /**
      * Request-specific admission: ports that multiplex resources by

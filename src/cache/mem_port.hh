@@ -27,6 +27,19 @@ class DramPort : public CachePort, public mem::MemRespSink
     void portRequest(const CacheReq &req) override;
     void memResponse(const mem::MemRequest &req) override;
 
+    /** Admission is gated on controller buffers; report their drains. */
+    std::uint64_t
+    portPopCount() const override
+    {
+        return dram_.dequeueCount();
+    }
+
+    const std::uint64_t *
+    portPopCountAddr() const override
+    {
+        return dram_.dequeueCountAddr();
+    }
+
     bool busy() const { return inflight_ > 0; }
 
   private:
@@ -54,6 +67,25 @@ class RangeRouter : public CachePort
     bool portCanAccept() const override;
     bool portCanAcceptReq(const CacheReq &req) const override;
     void portRequest(const CacheReq &req) override;
+
+    /**
+     * Departures across every routed port; unknown if any subport
+     * cannot track them (a waiter must then probe every cycle).
+     */
+    std::uint64_t
+    portPopCount() const override
+    {
+        std::uint64_t sum = fallback_->portPopCount();
+        if (sum == kPortPopsUnknown)
+            return kPortPopsUnknown;
+        for (const auto &r : ranges_) {
+            const std::uint64_t p = r.port->portPopCount();
+            if (p == kPortPopsUnknown)
+                return kPortPopsUnknown;
+            sum += p;
+        }
+        return sum;
+    }
 
   private:
     struct Range

@@ -28,6 +28,14 @@ class Prefetcher
 
     /** Pop the next prefetch candidate line; false if none pending. */
     virtual bool nextPrefetch(Addr &line) = 0;
+
+    /**
+     * True while prefetch candidates are queued. Part of the cache's
+     * quiescent()/drained() contract: a cache with a pending prefetcher
+     * is neither quiescent (issuePrefetches would pop) nor drained (a
+     * run must not terminate with candidates still queued).
+     */
+    virtual bool pending() const = 0;
 };
 
 /**
@@ -53,6 +61,7 @@ class StridePrefetcher : public Prefetcher
 
     void observe(const CacheReq &req, bool miss) override;
     bool nextPrefetch(Addr &line) override;
+    bool pending() const override { return !queue_.empty(); }
 
   private:
     struct Entry

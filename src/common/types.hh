@@ -44,6 +44,12 @@ lineOffset(Addr a)
 /** An invalid / "no value" sentinel for sequence numbers. */
 constexpr SeqNum kNoSeq = ~SeqNum{0};
 
+/**
+ * "No scheduled event" sentinel for nextEventAt() hints: the component
+ * will not act again unless external stimulus arrives.
+ */
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 } // namespace dx
 
 #endif // DX_COMMON_TYPES_HH

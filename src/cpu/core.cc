@@ -32,6 +32,7 @@ Core::Core(const Config &cfg, int id, cache::CachePort *l1)
     : cfg_(cfg), id_(id), l1_(l1), rob_(cfg.robSize), wheel_(64)
 {
     dx_assert(l1_, "core needs an L1 port");
+    l1PopAddr_ = l1_->portPopCountAddr();
 }
 
 Core::RobEntry &
@@ -173,6 +174,10 @@ Core::markComplete(SeqNum seq)
 void
 Core::cacheResponse(std::uint64_t tag)
 {
+    sleepValid_ = false;
+    blockedValid_ = false;
+    skipMemoValid_ = false;
+    evMemoValid_ = false;
     if (tag & kStoreTag) {
         dx_assert(sqUsed_ > 0 && inflightStoreWrites_ > 0,
                   "spurious store completion");
@@ -227,6 +232,7 @@ Core::issue()
             e.state = EntryState::kIssued;
             const unsigned lat = std::max<unsigned>(e.op.latency, 1);
             wheel_[(wheelPos_ + lat) % wheel_.size()].push_back(seq);
+            ++wheelPending_;
             ++issued;
             break;
           }
@@ -366,6 +372,10 @@ void
 Core::tick()
 {
     ++now_;
+    sleepValid_ = false;
+    blockedValid_ = false;
+    skipMemoValid_ = false;
+    evMemoValid_ = false;
     ++stats_.cycles;
     stats_.robOccupancyAccum += robTail_ - robHead_;
     stats_.lqOccupancyAccum += lqUsed_;
@@ -376,6 +386,7 @@ Core::tick()
         if (inRob(seq) && entry(seq).state == EntryState::kIssued)
             markComplete(seq);
     }
+    wheelPending_ -= static_cast<unsigned>(wheel_[wheelPos_].size());
     wheel_[wheelPos_].clear();
 
     commit();
@@ -383,6 +394,158 @@ Core::tick()
     dispatch();
     drainStores();
     drainMmio();
+}
+
+Core::DispatchStall
+Core::dispatchStall() const
+{
+    if (opBuffer_.empty())
+        return DispatchStall::kNone;
+    if (robTail_ - robHead_ >= cfg_.robSize)
+        return DispatchStall::kRob;
+    const MicroOp &op = opBuffer_.front();
+    if (op.kind == OpKind::kLoad && lqUsed_ >= cfg_.lqSize)
+        return DispatchStall::kLq;
+    const bool needsSq = op.kind == OpKind::kStore ||
+                         op.kind == OpKind::kRmw ||
+                         op.kind == OpKind::kMmioStore;
+    if (needsSq && sqUsed_ >= cfg_.sqSize)
+        return DispatchStall::kSq;
+    return DispatchStall::kNone;
+}
+
+bool
+Core::quiescentSlow() const
+{
+    // Nothing that feeds the verdict below has changed since it was
+    // last proven sleep-stable (or L1-gated with no L1 departures).
+    if (sleepValid_)
+        return true;
+    if (blockedValid_ &&
+        (l1PopAddr_ ? *l1PopAddr_ : l1_->portPopCount()) ==
+            blockedPops_) {
+        return true;
+    }
+    blockedValid_ = false;
+    // Structural activity a tick would advance: wheel completions,
+    // then the ready queue and store drain, which are only no-ops when
+    // blocked on a full L1 input queue.
+    if (wheelPending_ > 0)
+        return false;
+    if (!readyQueue_.empty()) {
+        // issue() examines entries front-first and pops every one it
+        // touches except a ready load it fails to issue into a full
+        // L1 — it returns without popping, so entries behind the front
+        // are never reached and the tick is a no-op.
+        const SeqNum seq = readyQueue_.front();
+        if (!inRob(seq))
+            return false; // issue() would pop the stale entry
+        const RobEntry &e = entry(seq);
+        if (e.state != EntryState::kReady)
+            return false; // likewise
+        if (e.op.kind != OpKind::kLoad || fencePending(seq))
+            return false; // would issue or move to fenceBlocked_
+        if (l1_->portCanAccept())
+            return false; // the load would issue
+    }
+    if (!storeBuffer_.empty() && l1_->portCanAccept())
+        return false; // drainStores() would issue
+    // dispatch() would refill the front-end buffer from the kernel.
+    if (kernel_ && kernel_->more() && opBuffer_.size() < 4 * cfg_.width)
+        return false;
+    // dispatch() would move the front-end head into the ROB.
+    if (!opBuffer_.empty() && dispatchStall() == DispatchStall::kNone)
+        return false;
+    if (robHead_ != robTail_) {
+        const RobEntry &e = entry(robHead_);
+        // commit() would retire.
+        if (e.state == EntryState::kComplete)
+            return false;
+        // commit() would issue a head kRmw or complete a head kFence.
+        // A head kDxWait stays quiescent between polls: waitCycles is
+        // closed-form and the poll itself is the next event.
+        if (e.headBlocked && e.op.kind != OpKind::kDxWait &&
+            e.state == EntryState::kReady && storeBuffer_.empty() &&
+            inflightStoreWrites_ == 0 && mmioBuffer_.empty()) {
+            return false;
+        }
+    }
+    // Sleep-stable when no check above consulted the L1. Otherwise the
+    // verdict is L1-gated — it holds exactly until the L1 pops a queue
+    // entry, so cache it against the L1's departure count.
+    if (readyQueue_.empty() && storeBuffer_.empty()) {
+        sleepValid_ = true;
+    } else {
+        const std::uint64_t pops =
+            l1PopAddr_ ? *l1PopAddr_ : l1_->portPopCount();
+        if (pops != cache::kPortPopsUnknown) {
+            blockedValid_ = true;
+            blockedPops_ = pops;
+        }
+    }
+    return true;
+}
+
+Cycle
+Core::nextEventAtSlow() const
+{
+    Cycle ev = kNeverCycle;
+    if (!mmioBuffer_.empty())
+        ev = std::min(ev, mmioBuffer_.front().first);
+    if (robHead_ != robTail_) {
+        const RobEntry &e = entry(robHead_);
+        if (e.state != EntryState::kComplete && e.headBlocked &&
+            e.op.kind == OpKind::kDxWait) {
+            ev = std::min(ev, nextPollAt_);
+        }
+    }
+    evMemo_ = ev;
+    evMemoValid_ = true;
+    return ev;
+}
+
+void
+Core::skipCycles(Cycle n)
+{
+    now_ += n;
+    stats_.cycles += n;
+    stats_.robOccupancyAccum += n * (robTail_ - robHead_);
+    stats_.lqOccupancyAccum += n * lqUsed_;
+    if (n == 1) {
+        if (++wheelPos_ == wheel_.size())
+            wheelPos_ = 0;
+    } else {
+        wheelPos_ = static_cast<unsigned>((wheelPos_ + n) % wheel_.size());
+    }
+
+    // Exactly the per-cycle counters the naive loop would have bumped
+    // while frozen in this state; the classification inputs only move
+    // through tick()/cacheResponse(), so it is memoized across skips.
+    if (!skipMemoValid_) {
+        skipWait_ = false;
+        if (robHead_ != robTail_) {
+            const RobEntry &e = entry(robHead_);
+            skipWait_ = e.state != EntryState::kComplete &&
+                        e.headBlocked && e.op.kind == OpKind::kDxWait;
+        }
+        skipStall_ = dispatchStall();
+        skipMemoValid_ = true;
+    }
+    if (skipWait_)
+        stats_.waitCycles += n;
+    switch (skipStall_) {
+      case DispatchStall::kRob:
+        stats_.robStallCycles += n;
+        break;
+      case DispatchStall::kLq:
+        stats_.lqStallCycles += n;
+        break;
+      case DispatchStall::kSq:
+        stats_.sqStallCycles += n;
+        break;
+      case DispatchStall::kNone:
+        break;
+    }
 }
 
 bool

@@ -62,13 +62,66 @@ class Core : public cache::CacheRespSink, public OpEmitter
     Core(const Config &cfg, int id, cache::CachePort *l1);
 
     /** Attach the kernel supplying this core's op stream. */
-    void setKernel(Kernel *kernel) { kernel_ = kernel; }
+    void
+    setKernel(Kernel *kernel)
+    {
+        kernel_ = kernel;
+        sleepValid_ = false;
+        blockedValid_ = false;
+        skipMemoValid_ = false;
+        evMemoValid_ = false;
+    }
 
     /** Attach the MMIO device (DX100 instance) visible to this core. */
     void setMmioDevice(MmioDevice *dev) { mmio_ = dev; }
 
     /** Advance one core cycle. */
     void tick();
+
+    /**
+     * Quiescence contract (see DESIGN.md): tick() this cycle would
+     * change nothing but the closed-form per-cycle stats (cycles,
+     * occupancy integrals, the current stall counter, kDxWait
+     * waitCycles) — no wheel completion, nothing issuable, nothing
+     * dispatchable, no store/MMIO drain, no head retirement.
+     *
+     * Inline fast path: the scheduler probes every core every cycle,
+     * so the sleep-stable memo must cost one load at the call site.
+     */
+    bool
+    quiescent() const
+    {
+        if (sleepValid_)
+            return true;
+        // L1-gated memo: valid while the L1 pop counter is unmoved
+        // (one load via the cached address — see portPopCountAddr).
+        if (blockedValid_ && l1PopAddr_ && *l1PopAddr_ == blockedPops_)
+            return true;
+        return quiescentSlow();
+    }
+
+    /**
+     * Earliest cycle tick() could act again without external stimulus:
+     * the next MMIO delivery or kDxWait poll; kNeverCycle when only a
+     * cache response can wake us. Only meaningful while quiescent().
+     * The result is absolute and reads only core-private state, so it
+     * is memoized against the same entry points as the sleep memo.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        return evMemoValid_ ? evMemo_ : nextEventAtSlow();
+    }
+
+    /**
+     * Closed-form advance over @p n cycles the caller has proven
+     * quiescent, accumulating exactly the stats the naive per-cycle
+     * loop would have.
+     */
+    void skipCycles(Cycle n);
+
+    /** This core's clock (kept in sync with the System clock). */
+    Cycle localNow() const { return now_; }
 
     /** Kernel exhausted and every buffer drained. */
     bool done() const;
@@ -108,6 +161,70 @@ class Core : public cache::CacheRespSink, public OpEmitter
     void drainStores();
     void drainMmio();
 
+    /**
+     * Why dispatch() would stall on the front-end head this cycle
+     * (kNone = it would dispatch, or the buffer is empty). Shared by
+     * quiescent() and skipCycles() so the skipped stall counters match
+     * the naive loop's bit-for-bit.
+     */
+    enum class DispatchStall : std::uint8_t
+    {
+        kNone,
+        kRob,
+        kLq,
+        kSq,
+    };
+    DispatchStall dispatchStall() const;
+
+    /**
+     * Cross-cycle memo that the core is quiescent *and* the verdict
+     * is sleep-stable: it depends only on core-private state, not on
+     * L1 input-queue space (which changes without this core seeing a
+     * call). Only the ready-queue-front and store-drain no-op cases
+     * consult the L1, so the memo is set only when both queues are
+     * empty. Cleared by tick(), cacheResponse() and setKernel() — the
+     * only entry points that mutate core state. While set, quiescent()
+     * is a single load.
+     */
+    mutable bool sleepValid_ = false;
+
+    /**
+     * Companion memo for the quiescent-but-L1-gated shapes (ready-
+     * queue front load, or store drain, blocked on a full L1 input
+     * queue): the verdict holds as long as the L1 reports no queue
+     * departures — arrivals never free space, and everything else the
+     * verdict reads is core-private. Cleared together with
+     * sleepValid_; never set when the L1 cannot track departures.
+     */
+    mutable bool blockedValid_ = false;
+    mutable std::uint64_t blockedPops_ = 0;
+    //! L1 pop counter, resolved once at wiring (null if untracked).
+    const std::uint64_t *l1PopAddr_ = nullptr;
+
+    /**
+     * The per-cycle stall counters a skipped cycle must accrue (head
+     * kDxWait flag, dispatch stall class), memoized across skips: the
+     * inputs are core-private and frozen between the same entry points
+     * that clear sleepValid_, so they are cleared together.
+     */
+    mutable bool skipMemoValid_ = false;
+    mutable bool skipWait_ = false;
+    mutable DispatchStall skipStall_ = DispatchStall::kNone;
+
+    /**
+     * Memo for nextEventAt(): its inputs (MMIO buffer head, ROB head
+     * poll deadline) are core-private and absolute, so the value holds
+     * across skips until the entry points that clear the sleep memo
+     * run. Cleared together with sleepValid_.
+     */
+    mutable bool evMemoValid_ = false;
+    mutable Cycle evMemo_ = 0;
+
+    // Out-of-line halves of the quiescence API (header fast paths
+    // handle the long-lived memoized shapes).
+    bool quiescentSlow() const;
+    Cycle nextEventAtSlow() const;
+
     RobEntry &entry(SeqNum seq);
     const RobEntry &entry(SeqNum seq) const;
     bool inRob(SeqNum seq) const;
@@ -143,6 +260,7 @@ class Core : public cache::CacheRespSink, public OpEmitter
     // Execution completion wheel for fixed-latency ALU ops.
     std::vector<std::vector<SeqNum>> wheel_;
     unsigned wheelPos_ = 0;
+    unsigned wheelPending_ = 0; //!< entries across all wheel slots
 
     // In-flight fencing ops (kRmw/kFence), oldest first.
     std::deque<SeqNum> fencing_;

@@ -12,7 +12,9 @@ namespace dx::dx100
 Dx100::Dx100(const Dx100Config &cfg, mem::DramSystem &dram,
              cache::CachePort *llcPort, CoherencyAgent agent,
              unsigned maxCores)
-    : cfg_(cfg), dram_(dram), llcPort_(llcPort), agent_(agent),
+    : cfg_(cfg), dram_(dram), llcPort_(llcPort),
+      llcPopAddr_(llcPort ? llcPort->portPopCountAddr() : nullptr),
+      agent_(agent),
       tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
       doorbells_(maxCores), sideband_(maxCores),
       regs_(cfg.numRegs, 0), tileReady_(cfg.numTiles, true),
@@ -57,6 +59,7 @@ Dx100::registerRegion(Addr base, Addr size)
 void
 Dx100::mmioWrite(Addr addr, std::uint64_t data, int coreId)
 {
+    qMemo_ = QMemo::kNone;
     if (addr >= cfg_.rfBase() &&
         addr < cfg_.rfBase() + cfg_.numRegs * 8) {
         regs_[(addr - cfg_.rfBase()) / 8] = data;
@@ -91,6 +94,7 @@ Dx100::mmioWrite(Addr addr, std::uint64_t data, int coreId)
               "doorbell encoding does not match registered payload");
 
     inputQueue_.push_back(std::move(payload));
+    dispatchWait_ = false;
 }
 
 bool
@@ -170,8 +174,10 @@ Dx100::gateLimit(const Active &a)
 void
 Dx100::tryDispatch()
 {
+    dispatchWait_ = false;
     if (inputQueue_.empty())
         return;
+    bool regionRetry = false;
 
     // Collect hazard masks of everything already executing.
     std::uint64_t activeDest = 0;
@@ -221,6 +227,7 @@ Dx100::tryDispatch()
         if (unitFree && !hazard && needsRegion &&
             !regionDir_->tryAcquireWrite(instanceId_, p.instr.base,
                                          now_)) {
+            regionRetry = true;
             olderDest |= dest;
             olderAny |= dest | src;
             continue;
@@ -236,6 +243,7 @@ Dx100::tryDispatch()
         olderDest |= dest;
         olderAny |= dest | src;
     }
+    dispatchWait_ = !regionRetry;
     ++stats_.dispatchStalls;
 }
 
@@ -337,6 +345,7 @@ Dx100::retire(UnitKind unit)
         regionDir_->releaseWrite(instanceId_, a->payload.instr.base);
     }
     retired_[a->payload.id] = true;
+    dispatchWait_ = false;
     ++stats_.instructionsRetired;
     ++stats_.byOpcode[static_cast<unsigned>(a->payload.instr.op)];
     a->valid = false;
@@ -367,6 +376,9 @@ Dx100::StreamSink::cacheResponse(std::uint64_t tag)
     (void)tag;
     StreamUnit &u = owner->stream_;
     dx_assert(u.outstanding > 0, "stray stream response");
+    owner->qMemo_ = QMemo::kNone;
+    u.waitIdle = false;
+    u.waitGated = false;
     --u.outstanding;
     ++u.linesDone;
     if (u.active.progress && !u.lines.empty()) {
@@ -388,6 +400,11 @@ Dx100::streamStart(StreamUnit &u)
     u.issuePos = 0;
     u.outstanding = 0;
     u.linesDone = 0;
+    u.waitIdle = false;
+    u.waitBlocked = false;
+    u.waitPops = 0;
+    u.waitGated = false;
+    u.gatePrefix = 0;
 
     Addr prevLine = ~Addr{0};
     for (std::uint32_t i = 0; i < s.count; ++i) {
@@ -409,6 +426,8 @@ Dx100::streamTick(StreamUnit &u)
 {
     if (!u.busy)
         return;
+    u.waitIdle = false;
+    u.waitGated = false;
 
     // Gate on still-executing producers of the data/condition tiles
     // (finish bits): a store may only stream out elements that exist.
@@ -423,6 +442,7 @@ Dx100::streamTick(StreamUnit &u)
     }
 
     // Issue up to two line requests per cycle through the LLC.
+    bool issued = false;
     for (unsigned n = 0; n < 2; ++n) {
         if (u.issuePos >= allowedLines)
             break;
@@ -444,10 +464,37 @@ Dx100::streamTick(StreamUnit &u)
             ++stats_.llcReads;
         ++u.outstanding;
         ++u.issuePos;
+        issued = true;
     }
 
-    if (u.issuePos >= u.lines.size() && u.outstanding == 0)
+    if (u.issuePos >= u.lines.size() && u.outstanding == 0) {
         retire(UnitKind::kStream);
+        return;
+    }
+    if (issued)
+        return;
+
+    // Nothing issued and not retired: classify whether the next tick
+    // is a provable no-op (see StreamUnit::waitIdle).
+    if (u.issuePos >= u.lines.size() ||
+        u.outstanding >= cfg_.requestTableSize) {
+        // All issued, or the request table is full: only a response
+        // can make the next tick productive.
+        u.waitIdle = true;
+        u.waitBlocked = false;
+    } else if (u.issuePos < allowedLines) {
+        // A line was sendable but the LLC refused admission: sleep
+        // until the port records a departure.
+        u.waitIdle = true;
+        u.waitBlocked = true;
+        u.waitPops = drainPops();
+    } else {
+        // Gated on a producer's finish bits. The producer may advance
+        // in a later unit tick of this same cycle, so record the gate
+        // value for quiescent() to revalidate rather than trusting it.
+        u.waitGated = true;
+        u.gatePrefix = limit;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -457,8 +504,10 @@ Dx100::streamTick(StreamUnit &u)
 void
 Dx100::LlcSink::cacheResponse(std::uint64_t tag)
 {
+    owner->qMemo_ = QMemo::kNone;
     owner->indirect_.responses.push_back(
         {static_cast<IndirectTables::ColHandle>(tag), true});
+    owner->indirect_.waitIdle = false;
     dx_assert(owner->indirect_.outstandingReads > 0,
               "stray LLC indirect response");
     --owner->indirect_.outstandingReads;
@@ -468,8 +517,10 @@ void
 Dx100::memResponse(const mem::MemRequest &req)
 {
     dx_assert(!req.write, "unexpected DRAM write response");
+    qMemo_ = QMemo::kNone;
     indirect_.responses.push_back(
         {static_cast<IndirectTables::ColHandle>(req.tag), false});
+    indirect_.waitIdle = false;
     dx_assert(indirect_.outstandingReads > 0,
               "stray DRAM indirect response");
     --indirect_.outstandingReads;
@@ -489,6 +540,10 @@ Dx100::indirectStart(IndirectUnit &u)
     u.responses.clear();
     u.pendingWrites.clear();
     u.outstandingReads = 0;
+    u.waitIdle = false;
+    u.waitBlocked = false;
+    u.waitPops = 0;
+    u.waitFillStall = false;
     u.needsWriteback = p.instr.op != Opcode::kIld;
     tables_.reset(u.n);
 }
@@ -578,9 +633,12 @@ Dx100::indirectFill(IndirectUnit &u)
     }
 }
 
-void
+std::pair<bool, bool>
 Dx100::indirectRequests(IndirectUnit &u)
 {
+    bool sent = false;
+    bool blocked = false;
+
     // Draining starts once the tile is fully inserted or fill is stuck
     // on a full slice (§3.2 Operation Stage 2). While fill merely paces
     // a still-running producer (fillGated), requests are *not* issued:
@@ -589,7 +647,7 @@ Dx100::indirectRequests(IndirectUnit &u)
     // anyway — the §3.5 overlap value is in the hidden fill stage.
     const bool draining = u.fillPos >= u.n || u.fillBlocked;
     if (!draining)
-        return;
+        return {false, false};
 
     const mem::DramGeometry &geom = dram_.geometry();
     const unsigned slicesPerChannel = geom.banksPerChannel();
@@ -610,6 +668,7 @@ Dx100::indirectRequests(IndirectUnit &u)
             if (req->cacheHit) {
                 if (!llcPort_ || !llcPort_->portCanAccept()) {
                     tables_.unsend(*req);
+                    blocked = true;
                     break;
                 }
                 cache::CacheReq creq;
@@ -623,6 +682,7 @@ Dx100::indirectRequests(IndirectUnit &u)
             } else {
                 if (!dram_.channel(ch).canAccept(false)) {
                     tables_.unsend(*req);
+                    blocked = true;
                     break;
                 }
                 dram_.access(line, false, mem::Origin::kDx100,
@@ -630,15 +690,18 @@ Dx100::indirectRequests(IndirectUnit &u)
                 ++stats_.dramReads;
             }
             ++u.outstandingReads;
+            sent = true;
             rr = (sliceInCh + 1) % slicesPerChannel;
             break;
         }
     }
+    return {sent, blocked};
 }
 
-void
+bool
 Dx100::indirectResponses(IndirectUnit &u)
 {
+    const bool any = !u.responses.empty();
     for (unsigned n = 0; n < cfg_.respPerCycle && !u.responses.empty();
          ++n) {
         const auto [handle, viaCache] = u.responses.front();
@@ -658,16 +721,18 @@ Dx100::indirectResponses(IndirectUnit &u)
                 {u.lineOfHandle[handle], viaCache});
         }
     }
+    return any;
 }
 
-void
+std::pair<bool, bool>
 Dx100::indirectWrites(IndirectUnit &u)
 {
+    bool sent = false;
     while (!u.pendingWrites.empty()) {
         const auto [line, viaCache] = u.pendingWrites.front();
         if (viaCache) {
             if (!llcPort_ || !llcPort_->portCanAccept())
-                return;
+                return {sent, true};
             cache::CacheReq creq;
             creq.addr = line;
             creq.write = true;
@@ -677,12 +742,14 @@ Dx100::indirectWrites(IndirectUnit &u)
             ++stats_.llcWrites;
         } else {
             if (!dram_.canAccept(line, true))
-                return;
+                return {sent, true};
             dram_.access(line, true, mem::Origin::kDx100, 0, nullptr);
             ++stats_.dramWrites;
         }
         u.pendingWrites.pop_front();
+        sent = true;
     }
+    return {sent, false};
 }
 
 void
@@ -690,13 +757,74 @@ Dx100::indirectTick(IndirectUnit &u)
 {
     if (!u.busy)
         return;
-    indirectResponses(u);
-    indirectWrites(u);
-    indirectRequests(u);
-    if (u.fillPos < u.n)
+    u.waitIdle = false;
+    const bool consumed = indirectResponses(u);
+    const auto [wrSent, wrBlocked] = indirectWrites(u);
+    const auto [rqSent, rqBlocked] = indirectRequests(u);
+    // Captured before fill runs: requests are issued earlier in the
+    // tick than fill, so "drain phase moved nothing" may only be
+    // concluded when the request stage already saw the completed fill.
+    // On the very cycle fill finishes (or inserts anything), the next
+    // tick can send the new columns and must not be skipped.
+    const bool wasDrainDone = u.fillPos >= u.n;
+    bool fillStallOnly = false;
+    if (u.fillPos < u.n) {
+        const std::uint32_t pos0 = u.fillPos;
+        const std::uint32_t skip0 = u.skippedAtFill;
+        const bool stalled0 = u.tlbStall > 0;
         indirectFill(u);
+        // A slice-full retry that advanced nothing: re-running it only
+        // bumps fillStallCycles and re-hits the same TLB page, both of
+        // which skipCycles() accounts closed-form.
+        fillStallOnly = u.fillBlocked && !stalled0 &&
+                        u.tlbStall == 0 && u.fillPos == pos0 &&
+                        u.skippedAtFill == skip0;
+    }
+    if (!consumed && !wrSent && !rqSent &&
+        (wasDrainDone || fillStallOnly)) {
+        // This cycle moved nothing (or only re-counted a fill stall):
+        // every issued request is in flight, so the next tick is a
+        // provable no-op until a response arrives (the response entry
+        // points clear waitIdle) — or, when a send was merely refused
+        // admission, until the blocking ports record a departure.
+        u.waitIdle = true;
+        u.waitFillStall = fillStallOnly;
+        u.waitBlocked = wrBlocked || rqBlocked;
+        if (u.waitBlocked)
+            u.waitPops = drainPops();
+    }
     if (indirectDone(u))
         retire(UnitKind::kIndirect);
+}
+
+void
+Dx100::skipCycles(Cycle n)
+{
+    now_ += n;
+    if (indirect_.busy && indirect_.waitIdle && indirect_.waitFillStall) {
+        // Each skipped cycle would have retried the slice-full insert:
+        // one fill-stall count and one repeat hit of the (installed)
+        // page, exactly as the naive loop accumulates.
+        stats_.fillStallCycles += n;
+        tlb_.skipHits(n);
+    }
+    if (!inputQueue_.empty() && dispatchWait_) {
+        // Each skipped cycle would have re-scanned the window and
+        // counted one dispatch stall.
+        stats_.dispatchStalls += n;
+    }
+}
+
+std::uint64_t
+Dx100::drainPops() const
+{
+    if (llcPopAddr_)
+        return *llcPopAddr_ + dram_.dequeueCount();
+    const std::uint64_t llc =
+        llcPort_ ? llcPort_->portPopCount() : 0;
+    if (llc == cache::kPortPopsUnknown)
+        return cache::kPortPopsUnknown;
+    return llc + dram_.dequeueCount();
 }
 
 void
@@ -732,6 +860,7 @@ Dx100::SpdPort::portCanAccept() const
 void
 Dx100::SpdPort::portRequest(const cache::CacheReq &req)
 {
+    owner->qMemo_ = QMemo::kNone;
     queue.push_back({owner->now_ + owner->cfg_.spdReadLatency, req});
     if (!req.write)
         owner->markSpdCached(req.addr);
@@ -787,6 +916,7 @@ void
 Dx100::tick()
 {
     ++now_;
+    qMemo_ = QMemo::kNone;
     spdTick();
     streamTick(stream_);
     indirectTick(indirect_);
@@ -816,6 +946,61 @@ Dx100::debugDump() const
        << " rng=" << (range_.busy ? "busy" : "idle")
        << " spdQ=" << spdPort_.queue.size();
     return os.str();
+}
+
+bool
+Dx100::quiescentSlow() const
+{
+    // A busy stream or indirect unit is quiescent only in its
+    // wait-idle state (see {Stream,Indirect}Unit::waitIdle):
+    // everything issued and in flight, with any admission-blocked
+    // send still blocked (no port departures since the memo). A
+    // backlogged inputQueue_ is quiescent only while the last
+    // dispatch scan's verdict is frozen (dispatchWait_); each skipped
+    // cycle then accounts one dispatch stall closed-form.
+    qMemo_ = QMemo::kNone;
+    const bool indirectBlocked = indirect_.busy && indirect_.waitBlocked;
+    const bool indirectIdle =
+        !indirect_.busy ||
+        (indirect_.waitIdle &&
+         (!indirect_.waitBlocked ||
+          (indirect_.waitPops != cache::kPortPopsUnknown &&
+           drainPops() == indirect_.waitPops)));
+    const bool streamWaiting = stream_.busy && stream_.waitIdle;
+    const bool streamBlocked = streamWaiting && stream_.waitBlocked;
+    const bool streamIdle =
+        !stream_.busy ||
+        (stream_.waitIdle &&
+         (!stream_.waitBlocked ||
+          (stream_.waitPops != cache::kPortPopsUnknown &&
+           drainPops() == stream_.waitPops))) ||
+        (stream_.waitGated &&
+         gateLimit(stream_.active) == stream_.gatePrefix);
+    const bool verdict =
+        streamIdle && indirectIdle && !alu_.busy && !range_.busy &&
+        (inputQueue_.empty() || dispatchWait_) &&
+        (spdPort_.queue.empty() ||
+         spdPort_.queue.front().first > now_);
+    if (!verdict)
+        return false;
+
+    // Memoize: every input is frozen until tick()/an entry point runs
+    // (they clear the memo), except the clock against the SPD head and
+    // - when a wait-idle unit is admission-blocked - the downstream
+    // departure count, which the inline fast path rechecks.
+    qSleepUntil_ = spdPort_.queue.empty()
+                       ? kNeverCycle
+                       : spdPort_.queue.front().first;
+    if (indirectBlocked || streamBlocked) {
+        const std::uint64_t pops = drainPops();
+        if (pops != cache::kPortPopsUnknown) {
+            qMemo_ = QMemo::kBlocked;
+            qPops_ = pops;
+        }
+    } else {
+        qMemo_ = QMemo::kTimed;
+    }
+    return true;
 }
 
 bool

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -139,6 +140,57 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     void tick();
     bool idle() const;
 
+    /**
+     * Quiescence contract (see DESIGN.md): tick() would be a no-op —
+     * every unit idle, nothing queued for dispatch, no scratchpad read
+     * due. One exception: a busy indirect unit in its wait-idle drain
+     * state (everything issued and in flight, nothing consumable, any
+     * admission-blocked send still blocked) is quiescent, because its
+     * tick is then provably side-effect free until a memory response
+     * or port departure. All other busy-but-blocked unit states still
+     * tick (conservative: their retries and stall counters must match
+     * the naive loop).
+     *
+     * Inline fast path: the verdict is memoized across probes (see
+     * QMemo below), so the common wait-idle shapes cost a compare —
+     * or a compare plus a port pop-count read — per scheduler query.
+     */
+    bool
+    quiescent() const
+    {
+        if (qMemo_ == QMemo::kTimed && now_ + 1 < qSleepUntil_)
+            return true;
+        if (qMemo_ == QMemo::kBlocked && now_ + 1 < qSleepUntil_ &&
+            drainPops() == qPops_) {
+            return true;
+        }
+        return quiescentSlow();
+    }
+
+    /**
+     * Earliest cycle tick() could act without external stimulus (the
+     * scratchpad queue head); kNeverCycle when only a doorbell or a
+     * memory response can wake us. Only meaningful while quiescent().
+     * SPD entries share one fixed latency, so the head is the minimum.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        return spdPort_.queue.empty() ? kNeverCycle
+                                      : spdPort_.queue.front().first;
+    }
+
+    /**
+     * Closed-form advance over @p n cycles the caller has proven
+     * quiescent (quiescent() holds and nextEventAt() > now + n).
+     * Accumulates the per-cycle stall stats a slice-full fill retry
+     * would have produced, so skipped runs stay bit-identical.
+     */
+    void skipCycles(Cycle n);
+
+    /** This instance's clock (kept in sync with the System clock). */
+    Cycle localNow() const { return now_; }
+
     /** Tile ready bit (true = no in-flight instruction uses it). */
     bool tileReady(unsigned tile) const;
 
@@ -218,6 +270,30 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
         unsigned outstanding = 0;
         unsigned linesDone = 0;
         bool isStore = false;
+
+        /**
+         * Set by streamTick() after a cycle that issued nothing and
+         * could not retire: the next tick is a provable no-op until a
+         * response arrives (StreamSink::cacheResponse clears the
+         * flag) or, when the LLC refused admission (waitBlocked),
+         * until a port departure (watched via waitPops). Never set
+         * while gated on a producer's finish bits — those advance in
+         * later unit ticks of the same cycle.
+         */
+        bool waitIdle = false;
+        bool waitBlocked = false;
+        std::uint64_t waitPops = 0;
+
+        /**
+         * The no-issue cycle was gated on a producer's finish bits at
+         * the recorded prefix. Unlike waitIdle this cannot be trusted
+         * as-is (producers tick later in the same cycle): quiescent()
+         * revalidates it by recomputing gateLimit and comparing with
+         * gatePrefix — equal means the producer has not advanced, so
+         * the next tick recomputes the same gate and is a no-op.
+         */
+        bool waitGated = false;
+        std::uint32_t gatePrefix = 0;
     };
 
     void streamStart(StreamUnit &u);
@@ -249,15 +325,46 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
         unsigned outstandingReads = 0;
 
         bool needsWriteback = false; //!< IST/IRMW
+
+        /**
+         * Set by indirectTick() after a cycle that moved nothing: the
+         * drain phase with every issued request in flight. The next
+         * tick is provably a no-op until a response arrives (the
+         * response entry points clear the flag) — or, when a sendable
+         * request/write was merely blocked on DRAM/LLC admission
+         * (waitBlocked), until those ports record a departure
+         * (watched via waitPops, see CachePort::portPopCount).
+         */
+        bool waitIdle = false;
+        bool waitBlocked = false;
+        std::uint64_t waitPops = 0;
+
+        /**
+         * The wait-idle cycle was a slice-full fill retry: the only
+         * effects of re-ticking are one fillStallCycles bump and one
+         * (idempotent) TLB re-hit per cycle, which skipCycles()
+         * accounts closed-form.
+         */
+        bool waitFillStall = false;
     };
 
     void indirectStart(IndirectUnit &u);
     void indirectTick(IndirectUnit &u);
     void indirectFill(IndirectUnit &u);
-    void indirectRequests(IndirectUnit &u);
-    void indirectResponses(IndirectUnit &u);
-    void indirectWrites(IndirectUnit &u);
+    /** Returns {sent any request, sendable but blocked on admission}. */
+    std::pair<bool, bool> indirectRequests(IndirectUnit &u);
+    /** Returns true when at least one response was consumed. */
+    bool indirectResponses(IndirectUnit &u);
+    /** Returns {sent any write, head write blocked on admission}. */
+    std::pair<bool, bool> indirectWrites(IndirectUnit &u);
     bool indirectDone(const IndirectUnit &u) const;
+
+    /**
+     * Combined departure count of the ports the indirect drain loop
+     * can block on (LLC input queue + DRAM request buffers);
+     * kPortPopsUnknown if the LLC port cannot track departures.
+     */
+    std::uint64_t drainPops() const;
 
     // ---- fixed-throughput units ------------------------------------------
 
@@ -287,6 +394,8 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     const Dx100Config cfg_;
     mem::DramSystem &dram_;
     cache::CachePort *llcPort_; //!< cache interface (may be null)
+    //! LLC pop counter, resolved once at wiring (null if untracked).
+    const std::uint64_t *llcPopAddr_ = nullptr;
     CoherencyAgent agent_;
     Tlb tlb_;
     RegionDirectory *regionDir_ = nullptr;
@@ -302,6 +411,40 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     };
     std::vector<Doorbell> doorbells_;
     std::vector<std::deque<ExecPayload>> sideband_;
+
+    /**
+     * Last tryDispatch() scan found nothing dispatchable, for reasons
+     * frozen while the whole accelerator is quiescent (unit-busy and
+     * hazard masks; never set when a region-ownership retry — which
+     * re-arbitrates against the clock — was involved). Cleared when
+     * the queue grows (mmioWrite) or a unit retires. While it holds,
+     * a skipped cycle accounts one dispatchStalls bump closed-form.
+     */
+    bool dispatchWait_ = false;
+
+    /**
+     * Cross-probe memo of the quiescent() verdict. Everything the
+     * verdict reads — unit wait flags, finish-bit gates, the dispatch
+     * memo, the SPD queue — mutates only through tick() and the
+     * external entry points (mmioWrite, the response sinks, SPD port
+     * requests), all of which clear the memo. Two residual inputs are
+     * rechecked inline: the clock (qSleepUntil_ bounds validity at the
+     * SPD queue head) and, for kBlocked, the downstream departure
+     * count (an admission-blocked send stays blocked while no entry
+     * left the LLC/DRAM queues — arrivals never free space).
+     */
+    enum class QMemo : std::uint8_t
+    {
+        kNone,
+        kTimed,   //!< verdict is pops-independent
+        kBlocked, //!< verdict also pinned on drainPops() == qPops_
+    };
+    mutable QMemo qMemo_ = QMemo::kNone;
+    mutable Cycle qSleepUntil_ = 0;
+    mutable std::uint64_t qPops_ = 0;
+
+    /** Full verdict recomputation; (re)establishes the memo. */
+    bool quiescentSlow() const;
 
     std::deque<ExecPayload> inputQueue_;
     std::vector<std::uint64_t> regs_;

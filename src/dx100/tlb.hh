@@ -62,6 +62,13 @@ class Tlb
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    /**
+     * Closed-form account of @p n repeated hit lookups of one already
+     * installed page — what a skipped stall loop would have recorded
+     * (used by the quiescence fast-forward path).
+     */
+    void skipHits(std::uint64_t n) { hits_ += n; }
+
   private:
     /** Capacity model: drop an arbitrary entry, but never the page
      *  that was just installed (evicting it would livelock the

@@ -39,6 +39,25 @@ MemoryController::enqueue(const MemRequest &req)
     e.req = req;
     e.req.enqueued = now_;
     (req.write ? writeQueue_ : readQueue_).push_back(e);
+
+    // An enqueue only *adds* command candidates, so the cached hint
+    // remains a conservative-early bound for everything already
+    // queued; fold in a bound for the new entry instead of reingesting
+    // both queues. Row-hit pinning is ignored here — it can only delay
+    // the entry, and the hint may run early, never late.
+    if (eventHintValid_) {
+        const Bank &bank = banks_[flatBankFor(req.coord)];
+        Cycle ev;
+        if (bank.openRow == static_cast<std::int64_t>(req.coord.row))
+            ev = req.write ? bank.nextWr : bank.nextRd;
+        else if (bank.openRow < 0)
+            ev = std::max(bank.nextAct, fawReadyAt());
+        else
+            ev = bank.nextPre;
+        if (wouldToggleWriteMode())
+            ev = Cycle{0};
+        eventHint_ = std::min(eventHint_, ev);
+    }
 }
 
 bool
@@ -59,15 +78,41 @@ MemoryController::flatBankFor(const DramCoord &c) const
     return c.bankInChannel(cfg_.geom);
 }
 
-void
+bool
 MemoryController::deliverResponses()
 {
+    bool delivered = false;
     while (!pending_.empty() && pending_.front().ready <= now_) {
         MemRequest req = pending_.front().req;
         pending_.pop_front();
         if (req.sink)
             req.sink->memResponse(req);
+        delivered = true;
     }
+    return delivered;
+}
+
+bool
+MemoryController::wouldToggleWriteMode() const
+{
+    if (!writeMode_) {
+        // Enter write mode on the high watermark or when there is
+        // nothing else to do. Read credits guarantee reads a burst of
+        // service between write drains even when the write queue is
+        // pinned full.
+        const bool creditsSpent = readCredit_ == 0 ||
+                                  readQueue_.empty();
+        return (creditsSpent &&
+                writeQueue_.size() >= cfg_.writeHiWatermark) ||
+               (readQueue_.empty() && !writeQueue_.empty());
+    }
+    // Leave write mode at the low watermark, or after a bounded burst
+    // when reads are waiting (fairness: a producer that refills the
+    // write queue as fast as it drains must not starve reads).
+    const bool drained = writeQueue_.size() <= cfg_.writeLoWatermark;
+    const bool burstDone = writeBurst_ >= cfg_.writeBurstMax;
+    return writeQueue_.empty() ||
+           ((drained || burstDone) && !readQueue_.empty());
 }
 
 void
@@ -77,45 +122,46 @@ MemoryController::tick()
     ++stats_.cycles;
     stats_.occupancyAccum += readQueue_.size() + writeQueue_.size();
 
-    deliverResponses();
+    // The event hint is in absolute cycles, so an unproductive tick
+    // (nothing delivered, refreshed, toggled or issued — only the clock
+    // and the per-cycle stats advanced) leaves it valid.
+    bool productive = deliverResponses();
 
-    if (tryRefresh())
+    if (tryRefresh()) {
+        eventHintValid_ = false;
+        idleStreak_ = 0;
         return;
+    }
 
-    // Write-drain hysteresis: enter write mode on the high watermark or
-    // when there is nothing else to do; leave on the low watermark once
-    // reads are waiting.
-    if (!writeMode_) {
-        // Read credits guarantee reads a burst of service between
-        // write drains even when the write queue is pinned full.
-        const bool creditsSpent = readCredit_ == 0 ||
-                                  readQueue_.empty();
-        if ((creditsSpent &&
-             writeQueue_.size() >= cfg_.writeHiWatermark) ||
-            (readQueue_.empty() && !writeQueue_.empty())) {
+    // Write-drain hysteresis (single source of truth with the
+    // nextEventAt() hint: see wouldToggleWriteMode).
+    if (wouldToggleWriteMode()) {
+        if (!writeMode_) {
             writeMode_ = true;
             writeBurst_ = 0;
-        }
-    } else {
-        // Leave write mode at the low watermark, or after a bounded
-        // burst when reads are waiting (fairness: a producer that
-        // refills the write queue as fast as it drains must not
-        // starve reads).
-        const bool drained =
-            writeQueue_.size() <= cfg_.writeLoWatermark;
-        const bool burstDone = writeBurst_ >= cfg_.writeBurstMax;
-        if (writeQueue_.empty() ||
-            ((drained || burstDone) && !readQueue_.empty())) {
+        } else {
             writeMode_ = false;
             readCredit_ = cfg_.writeBurstMax;
         }
+        productive = true;
     }
 
     if (writeMode_) {
-        tryIssueFrom(writeQueue_, true);
+        productive |= tryIssueFrom(writeQueue_, true);
     } else {
-        tryIssueFrom(readQueue_, false);
+        productive |= tryIssueFrom(readQueue_, false);
     }
+    // A productive tick moved state the hint depends on. An
+    // unproductive tick with an *overdue* hint means the early bound
+    // fired spuriously (the hint may run early, never late) — drop it
+    // too, or the now_+1 clamp in nextEventAt() would pin the channel
+    // awake until the next productive tick.
+    if (productive || (eventHintValid_ && eventHint_ <= now_))
+        eventHintValid_ = false;
+    if (productive)
+        idleStreak_ = 0;
+    else if (idleStreak_ < 2)
+        ++idleStreak_;
 }
 
 bool
@@ -196,6 +242,9 @@ MemoryController::tryColumn(std::vector<Entry> &queue, bool writes)
             ++stats_.rowHits;
 
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        ++dequeues_; // a waiter upstream may be watching for space
+        if (dequeueMirror_)
+            ++*dequeueMirror_;
         return true;
     }
     return false;
@@ -345,6 +394,73 @@ MemoryController::issueWrite(Entry &e)
     e.req.neededAct = e.neededAct;
     if (e.req.sink)
         pending_.push_back({now_ + t.tCWL + t.tBL, e.req});
+}
+
+Cycle
+MemoryController::fawReadyAt() const
+{
+    return actWindow_.size() < 4
+               ? Cycle{0}
+               : actWindow_.front() + cfg_.timings.tFAW;
+}
+
+Cycle
+MemoryController::earliestCommandAt() const
+{
+    const std::vector<Entry> &q = writeMode_ ? writeQueue_ : readQueue_;
+    Cycle ev = kNeverCycle;
+
+    // Banks whose open row has a pending hit in the served queue must
+    // not be precharged from under it (mirrors tryPrecharge); the hit
+    // entry itself contributes the candidate for that bank.
+    std::uint64_t hitMask = 0;
+    const bool maskOk = banks_.size() <= 64;
+    for (const auto &e : q) {
+        const unsigned flat = flatBankFor(e.req.coord);
+        if (maskOk &&
+            banks_[flat].openRow ==
+                static_cast<std::int64_t>(e.req.coord.row)) {
+            hitMask |= std::uint64_t{1} << flat;
+        }
+    }
+
+    for (const auto &e : q) {
+        const unsigned flat = flatBankFor(e.req.coord);
+        const Bank &bank = banks_[flat];
+        if (bank.openRow ==
+            static_cast<std::int64_t>(e.req.coord.row)) {
+            ev = std::min(ev, writeMode_ ? bank.nextWr : bank.nextRd);
+        } else if (bank.openRow < 0) {
+            ev = std::min(ev, std::max(bank.nextAct, fawReadyAt()));
+        } else {
+            const bool pinned =
+                maskOk ? ((hitMask >> flat) & 1) != 0
+                       : rowHitPendingFor(q, bank, flat);
+            if (!pinned)
+                ev = std::min(ev, bank.nextPre);
+        }
+    }
+    return ev;
+}
+
+Cycle
+MemoryController::computeEventHint() const
+{
+    Cycle ev = kNeverCycle;
+    if (!pending_.empty())
+        ev = std::min(ev, pending_.front().ready);
+    if (cfg_.timings.refreshEnabled)
+        ev = std::min(ev, refreshPending_ ? Cycle{0} : nextRefresh_);
+    if (wouldToggleWriteMode())
+        ev = Cycle{0};
+    return std::min(ev, earliestCommandAt());
+}
+
+void
+MemoryController::refreshEventHint() const
+{
+    eventHint_ = computeEventHint();
+    eventHintValid_ = true;
 }
 
 } // namespace dx::mem

@@ -88,11 +88,82 @@ class MemoryController
     /** Advance one controller clock cycle. */
     void tick();
 
+    /**
+     * Quiescence contract (see DESIGN.md): the next controller tick
+     * would be a no-op except for the closed-form per-cycle stats
+     * (cycles, occupancyAccum) — no response due, no refresh activity,
+     * no write-mode toggle, no command issuable.
+     *
+     * Fast-out: a productive tick invalidated the event hint, so a
+     * probe right after one would pay a full queue/bank rescan. While
+     * the channel is streaming commands that rescan would conclude
+     * "busy" anyway, so report busy without computing the hint
+     * (conservative — a stale "false" only degrades to ticking). The
+     * streak threshold adds hysteresis: inter-command gaps of a cycle
+     * or two — the common case under bank-conflict traffic — never pay
+     * the rescan, which would buy no skip anyway; only a sustained
+     * unproductive stretch re-enables real hint probing.
+     */
+    bool
+    quiescent() const
+    {
+        return idleStreak_ >= 2 && nextEventAt() > now_ + 1;
+    }
+
+    /**
+     * Conservative earliest controller cycle at which tick() could act:
+     * the head in-flight response, the next refresh deadline, a pending
+     * write-mode toggle, or the earliest bank-timer expiry of any entry
+     * in the queue currently being served. May be earlier than the true
+     * event (that only degrades to normal ticking), never later. The
+     * scan is cached and invalidated by tick()/enqueue(); the cached
+     * hint costs one compare at the call site.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        if (!eventHintValid_)
+            refreshEventHint();
+        // An overdue candidate (e.g. a second issuable entry the one-
+        // command-per-cycle limit postponed) means "could act next
+        // tick".
+        return eventHint_ == kNeverCycle
+                   ? kNeverCycle
+                   : std::max(eventHint_, now_ + 1);
+    }
+
+    /**
+     * Closed-form advance over @p n controller cycles the caller has
+     * proven quiescent (nextEventAt() > now() + n).
+     */
+    void
+    skipCycles(Cycle n)
+    {
+        now_ += n;
+        stats_.cycles += n;
+        stats_.occupancyAccum +=
+            n * (readQueue_.size() + writeQueue_.size());
+    }
+
     /** Current controller cycle. */
     Cycle now() const { return now_; }
 
     /** True when both queues and in-flight responses are empty. */
     bool idle() const;
+
+    /**
+     * Monotonic count of entries that left the request buffers (column
+     * command issued). Lets waiters blocked on canAccept() cache the
+     * "full" verdict: arrivals never free space, so an unchanged count
+     * proves the buffers are still full.
+     */
+    std::uint64_t dequeueCount() const { return dequeues_; }
+
+    /**
+     * Mirror every future dequeue into @p sum as well (the DRAM
+     * system's O(1) aggregate). Wire before the first request arrives.
+     */
+    void setDequeueMirror(std::uint64_t *sum) { dequeueMirror_ = sum; }
 
     const Stats &stats() const { return stats_; }
     const Config &config() const { return cfg_; }
@@ -127,6 +198,25 @@ class MemoryController
     bool tryActivate(std::vector<Entry> &queue);
     bool tryPrecharge(std::vector<Entry> &queue);
 
+    /**
+     * The write-drain hysteresis condition, shared by tick() and the
+     * nextEventAt() hint so the two cannot diverge: true when this
+     * cycle's mode check would flip writeMode_.
+     */
+    bool wouldToggleWriteMode() const;
+
+    /** Earliest cycle the tFAW window admits another ACT. */
+    Cycle fawReadyAt() const;
+
+    /** Earliest bank-timer expiry over the queue being served. */
+    Cycle earliestCommandAt() const;
+
+    /** Uncached hint scan; 0 encodes "could act immediately". */
+    Cycle computeEventHint() const;
+
+    /** Recompute and cache the nextEventAt() hint (slow path). */
+    void refreshEventHint() const;
+
     void issueRead(Entry &e);
     void issueWrite(Entry &e);
     void issueAct(Bank &bank, std::uint32_t row, std::uint16_t bankGroup);
@@ -139,7 +229,8 @@ class MemoryController
     Bank &bankFor(const DramCoord &c);
     unsigned flatBankFor(const DramCoord &c) const;
 
-    void deliverResponses();
+    /** Deliver due responses; true when at least one was delivered. */
+    bool deliverResponses();
 
     const Config cfg_;
     const unsigned channel_;
@@ -150,12 +241,25 @@ class MemoryController
     std::vector<Entry> writeQueue_;
     std::deque<PendingResp> pending_;
 
+    std::uint64_t dequeues_ = 0; //!< request-buffer departures
+    std::uint64_t *dequeueMirror_ = nullptr; //!< system-wide aggregate
+
     bool writeMode_ = false;
     unsigned writeBurst_ = 0;
     unsigned readCredit_ = 0;
     bool refreshPending_ = false;
     Cycle nextRefresh_;
     std::deque<Cycle> actWindow_;   //!< timestamps of recent ACTs (tFAW)
+
+    // nextEventAt() cache: hint values are absolute cycles, so only
+    // state changes (tick, enqueue) invalidate — skipCycles keeps it.
+    mutable Cycle eventHint_ = 0;
+    mutable bool eventHintValid_ = false;
+
+    // Consecutive ticks with no command / delivery / refresh / toggle:
+    // quiescent() short-circuits to busy until the streak shows the
+    // channel has genuinely gone quiet (see the fast-out comment).
+    std::uint8_t idleStreak_ = 2;
 
     Stats stats_;
 };

@@ -1,5 +1,7 @@
 #include "mem/dram_system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace dx::mem
@@ -8,9 +10,11 @@ namespace dx::mem
 DramSystem::DramSystem(const Config &cfg)
     : cfg_(cfg), map_(cfg.ctrl.geom, cfg.order)
 {
-    for (unsigned c = 0; c < cfg_.ctrl.geom.channels; ++c)
+    for (unsigned c = 0; c < cfg_.ctrl.geom.channels; ++c) {
         channels_.push_back(
             std::make_unique<MemoryController>(cfg_.ctrl, c));
+        channels_.back()->setDequeueMirror(&totalDequeues_);
+    }
 }
 
 unsigned
@@ -42,11 +46,61 @@ DramSystem::access(Addr lineAddr, bool write, Origin origin,
 void
 DramSystem::tick()
 {
+    ++now_;
     if (++phase_ >= cfg_.clockRatio) {
         phase_ = 0;
         for (auto &ch : channels_)
             ch->tick();
     }
+}
+
+bool
+DramSystem::tickScheduled()
+{
+    ++now_;
+    if (++phase_ >= cfg_.clockRatio) {
+        phase_ = 0;
+        bool allSkipped = true;
+        for (auto &ch : channels_) {
+            if (ch->quiescent()) {
+                ch->skipCycles(1);
+            } else {
+                ch->tick();
+                allSkipped = false;
+            }
+        }
+        return allSkipped;
+    }
+    return true; // off-phase core cycle: the controllers do not run
+}
+
+Cycle
+DramSystem::nextEventAt() const
+{
+    Cycle best = kNeverCycle;
+    for (const auto &ch : channels_) {
+        const Cycle ev = ch->nextEventAt();
+        if (ev == kNeverCycle)
+            continue;
+        // Controller tick #j (j >= 1) from here lands on core cycle
+        // now_ + (clockRatio - phase_) + (j - 1) * clockRatio.
+        const Cycle j = ev - ch->now();
+        best = std::min(best, now_ + (cfg_.clockRatio - phase_) +
+                                  (j - 1) * cfg_.clockRatio);
+    }
+    return best;
+}
+
+void
+DramSystem::skipCycles(Cycle n)
+{
+    now_ += n;
+    const Cycle ticks = (phase_ + n) / cfg_.clockRatio;
+    phase_ = static_cast<unsigned>((phase_ + n) % cfg_.clockRatio);
+    if (ticks == 0)
+        return;
+    for (auto &ch : channels_)
+        ch->skipCycles(ticks);
 }
 
 bool

@@ -40,12 +40,56 @@ class DramSystem
     /** True if the owning channel can buffer this request now. */
     bool canAccept(Addr lineAddr, bool write) const;
 
+    /** Sum of the channels' request-buffer departure counts. */
+    std::uint64_t dequeueCount() const { return totalDequeues_; }
+
+    /**
+     * Stable address of that sum, for per-cycle waiters (see
+     * CachePort::portPopCountAddr): the channels mirror every dequeue
+     * into it, so a probe is one load instead of a channel loop.
+     */
+    const std::uint64_t *dequeueCountAddr() const
+    {
+        return &totalDequeues_;
+    }
+
     /** Enqueue a line request; canAccept must hold. */
     void access(Addr lineAddr, bool write, Origin origin,
                 std::uint64_t tag, MemRespSink *sink);
 
     /** Advance one core clock cycle. */
     void tick();
+
+    /**
+     * Advance one core clock cycle, skipping quiescent channels on a
+     * controller-clock edge via their closed-form skipCycles instead of
+     * ticking them. Observable-state equivalent to tick(). Returns
+     * true when no channel had to run (off-phase cycle or all skipped).
+     */
+    bool tickScheduled();
+
+    /**
+     * No channel can act at the next core cycle (the clock-domain
+     * analogue of the component quiescent() predicates).
+     */
+    bool quiescent() const { return nextEventAt() > now_ + 1; }
+
+    /**
+     * Earliest *core* cycle any channel could act, translated from the
+     * controller clock domain through the divider phase; kNeverCycle
+     * when every channel is idle with no timers running.
+     */
+    Cycle nextEventAt() const;
+
+    /**
+     * Closed-form advance over @p n core cycles the caller has proven
+     * quiescent: folds the divider phase forward and skips the covered
+     * controller cycles in every channel.
+     */
+    void skipCycles(Cycle n);
+
+    /** This system's core-domain clock (in sync with System's). */
+    Cycle localNow() const { return now_; }
 
     /** True when all channels are drained. */
     bool idle() const;
@@ -75,7 +119,9 @@ class DramSystem
     const Config cfg_;
     AddressMap map_;
     std::vector<std::unique_ptr<MemoryController>> channels_;
+    std::uint64_t totalDequeues_ = 0; //!< mirror of the channels' sum
     unsigned phase_ = 0; //!< core cycles since last controller tick
+    Cycle now_ = 0;      //!< core-domain clock
 };
 
 } // namespace dx::mem

@@ -56,6 +56,7 @@ class IndirectPrefetcher : public cache::Prefetcher
 
     void observe(const cache::CacheReq &req, bool miss) override;
     bool nextPrefetch(Addr &line) override;
+    bool pending() const override { return !queue_.empty(); }
 
     const Stats &stats() const { return stats_; }
 

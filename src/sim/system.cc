@@ -1,6 +1,8 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -111,6 +113,40 @@ namespace
 /** The only cross-System shared state; see System::liveSystems(). */
 std::atomic<unsigned> gLiveSystems{0};
 
+bool
+resolveNaiveTick(TickPolicy policy)
+{
+    if (policy == TickPolicy::kNaive)
+        return true;
+    if (policy == TickPolicy::kQuiescent)
+        return false;
+    const char *env = std::getenv("DX_NAIVE_TICK");
+    return env && env[0] == '1' && env[1] == '\0';
+}
+
+/**
+ * Skip @p c one cycle when its own hint proves the tick a no-op.
+ * Returns the component's event hint when it skipped, 0 when it had to
+ * tick (0 is never a legal hint: hints exceed the component's clock).
+ */
+template <typename C>
+Cycle
+tickOrSkip(C &c)
+{
+    // c's clock trails the advanced System clock by one here, so the
+    // tick being decided lands on localNow() + 1: skip only when the
+    // next event lies strictly beyond it.
+    if (c.quiescent()) {
+        const Cycle ev = c.nextEventAt();
+        if (ev > c.localNow() + 1) {
+            c.skipCycles(1);
+            return ev;
+        }
+    }
+    c.tick();
+    return 0;
+}
+
 } // namespace
 
 unsigned
@@ -119,7 +155,8 @@ System::liveSystems()
     return gLiveSystems.load(std::memory_order_relaxed);
 }
 
-System::System(const SystemConfig &cfg) : cfg_(cfg)
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), naiveTick_(resolveNaiveTick(cfg.tickPolicy))
 {
     dx_assert(cfg_.cores > 0, "a System needs at least one core");
     gLiveSystems.fetch_add(1, std::memory_order_relaxed);
@@ -283,32 +320,129 @@ System::tick()
     dram_->tick();
 }
 
+Cycle
+System::tickScheduled()
+{
+    // Same component order as tick(): skip decisions are made at each
+    // component's slot, so anything an earlier component injected this
+    // cycle (e.g. a core's doorbell into a DX100 input queue) is seen.
+    ++now_;
+    Cycle ev = kNeverCycle;
+    bool allSkipped = true;
+    const auto fold = [&](Cycle r) {
+        if (r == 0)
+            allSkipped = false;
+        else
+            ev = std::min(ev, r);
+    };
+    for (auto &c : cores_)
+        fold(tickOrSkip(*c));
+    for (auto &c : l1s_)
+        fold(tickOrSkip(*c));
+    for (auto &c : l2s_)
+        fold(tickOrSkip(*c));
+    fold(tickOrSkip(*llc_));
+    for (auto &d : dxs_)
+        fold(tickOrSkip(*d));
+    if (!dram_->tickScheduled() || !allSkipped)
+        return 0;
+    // Every skip above was side-effect-free, so the hints gathered at
+    // each slot still hold now; the DRAM hint is queried lazily — it
+    // is only worth computing when everything else already skipped.
+    return std::min(ev, dram_->nextEventAt());
+}
+
+Cycle
+System::quiescentHorizon() const
+{
+    Cycle best = kNeverCycle;
+    for (const auto &c : cores_) {
+        if (!c->quiescent())
+            return 0;
+        best = std::min(best, c->nextEventAt());
+    }
+    for (const auto &c : l1s_) {
+        if (!c->quiescent())
+            return 0;
+        best = std::min(best, c->nextEventAt());
+    }
+    for (const auto &c : l2s_) {
+        if (!c->quiescent())
+            return 0;
+        best = std::min(best, c->nextEventAt());
+    }
+    if (!llc_->quiescent())
+        return 0;
+    best = std::min(best, llc_->nextEventAt());
+    for (const auto &d : dxs_) {
+        if (!d->quiescent())
+            return 0;
+        best = std::min(best, d->nextEventAt());
+    }
+    if (!dram_->quiescent())
+        return 0;
+    return std::min(best, dram_->nextEventAt());
+}
+
+void
+System::skipTo(Cycle target)
+{
+    dx_assert(target >= now_, "skipTo into the past");
+    const Cycle n = target - now_;
+    if (n == 0)
+        return;
+    for (auto &c : cores_)
+        c->skipCycles(n);
+    for (auto &c : l1s_)
+        c->skipCycles(n);
+    for (auto &c : l2s_)
+        c->skipCycles(n);
+    llc_->skipCycles(n);
+    for (auto &d : dxs_)
+        d->skipCycles(n);
+    dram_->skipCycles(n);
+    now_ = target;
+}
+
+bool
+System::drained() const
+{
+    for (const auto &c : cores_) {
+        if (!c->done())
+            return false;
+    }
+    for (const auto &d : dxs_) {
+        if (!d->idle())
+            return false;
+    }
+    for (const auto &c : l1s_) {
+        if (!c->drained())
+            return false;
+    }
+    for (const auto &c : l2s_) {
+        if (!c->drained())
+            return false;
+    }
+    return llc_->drained() && dram_->idle();
+}
+
 RunStats
 System::run(Cycle maxCycles)
 {
-    auto allDone = [&]() {
-        for (auto &c : cores_) {
-            if (!c->done())
-                return false;
+    const Cycle start = now_;
+    const Cycle limit = start + maxCycles;
+    while (!drained()) {
+        if (naiveTick_) {
+            tick();
+        } else {
+            // When every component skipped, the per-slot hints prove a
+            // horizon: jump to the cycle before it in one closed-form
+            // step (the cap keeps the cycle-limit fatal below
+            // reachable).
+            const Cycle horizon = tickScheduled();
+            if (horizon > now_ + 1)
+                skipTo(std::min(horizon - 1, limit));
         }
-        for (auto &d : dxs_) {
-            if (!d->idle())
-                return false;
-        }
-        for (auto &c : l1s_) {
-            if (c->busy())
-                return false;
-        }
-        for (auto &c : l2s_) {
-            if (c->busy())
-                return false;
-        }
-        return !llc_->busy() && dram_->idle();
-    };
-
-    Cycle start = now_;
-    while (!allDone()) {
-        tick();
         if (now_ - start >= maxCycles)
             dx_fatal("simulation exceeded cycle limit");
     }

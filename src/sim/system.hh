@@ -27,6 +27,22 @@
 namespace dx::sim
 {
 
+/**
+ * How System::run advances simulated time (see DESIGN.md):
+ *  - kNaive ticks every component every cycle (the reference loop);
+ *  - kQuiescent skips components whose quiescent()/nextEventAt()
+ *    contract proves the tick a no-op, and fast-forwards globally
+ *    quiescent stretches in one closed-form step. Bit-identical stats.
+ *  - kAuto resolves to kNaive when the DX_NAIVE_TICK=1 environment
+ *    escape hatch is set, else kQuiescent.
+ */
+enum class TickPolicy
+{
+    kAuto,
+    kQuiescent,
+    kNaive,
+};
+
 struct SystemConfig
 {
     unsigned cores = 4;
@@ -46,6 +62,9 @@ struct SystemConfig
     /** Attach a DMP-style indirect prefetcher at each core's L2. */
     bool dmp = false;
     prefetch::IndirectPrefetcher::Config dmpCfg;
+
+    /** Scheduler for System::run (tests pin it; benches use kAuto). */
+    TickPolicy tickPolicy = TickPolicy::kAuto;
 
     SystemConfig();
 
@@ -160,8 +179,52 @@ class System
      */
     void warmLlc(Addr base, Addr size);
 
-    /** Tick every component once. */
+    /** Tick every component once (the naive reference scheduler). */
     void tick();
+
+    /**
+     * Advance one cycle, replacing each provably no-op component tick
+     * with its closed-form skipCycles(1). Identical observable state
+     * and stats to tick() — the test_tick_equivalence /
+     * test_quiescence_property harnesses enforce this bit-for-bit.
+     *
+     * Returns 0 when some component had to run, else the earliest
+     * nextEventAt() across all components. In the latter case every
+     * skip this cycle was side-effect-free, so the per-slot hints
+     * double as a proven fast-forward horizon (same soundness argument
+     * as quiescentHorizon(), without a second predicate sweep): run()
+     * may skipTo(min(returned - 1, limit)) immediately.
+     */
+    Cycle tickScheduled();
+
+    /**
+     * If *every* component is quiescent, the earliest cycle any of
+     * them could act (conservative; kNeverCycle when none has a timed
+     * event); 0 when some component is active. Fast-forward is sound
+     * only in the first case: while all components are quiescent no
+     * cross-component callbacks occur, so no event can move earlier.
+     */
+    Cycle quiescentHorizon() const;
+
+    /**
+     * Closed-form advance of every component (and the global clock)
+     * to cycle @p target. Caller must have proven quiescence through
+     * @p target via quiescentHorizon().
+     */
+    void skipTo(Cycle target);
+
+    /**
+     * All cores done and the whole memory system drained — including
+     * prefetcher queues, so a run cannot terminate with requests or
+     * prefetch candidates still in flight.
+     */
+    bool drained() const;
+
+    /** True when run() uses the naive scheduler (policy + env). */
+    bool naiveTick() const { return naiveTick_; }
+
+    /** Current global cycle. */
+    Cycle now() const { return now_; }
 
     /** Run until all cores are done and the memory system drains. */
     RunStats run(Cycle maxCycles = Cycle{4} << 30);
@@ -184,6 +247,7 @@ class System
 
   private:
     SystemConfig cfg_;
+    const bool naiveTick_;
     SimMemory mem_;
     SimAllocator alloc_;
 

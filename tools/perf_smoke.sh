@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf smoke for the quiescence-aware tick scheduler.
+#
+# Times each figure bench twice — under the naive per-cycle loop
+# (DX_NAIVE_TICK=1) and under the quiescence-aware scheduler — at a
+# tiny scale, keeps the min over DX_PERF_REPS repetitions (single-run
+# wall clock is noisy on shared CI runners), and then:
+#
+#   1. fails if the two runs' BENCH_*.json stats differ by a single
+#      bit (the scheduler must be invisible in every figure), and
+#   2. fails if any bench got slower than DX_PERF_MIN_SPEEDUP x.
+#
+# Artifacts: BENCH_<fig>_naive.json / BENCH_<fig>_sched.json plus a
+# perf_smoke_summary.txt table, all in the repo root.
+#
+# Tunables (env): DX_PERF_BUILD_DIR (build-perf), DX_PERF_SCALE (0.05),
+# DX_PERF_REPS (3), DX_PERF_MIN_SPEEDUP (1.0), DX_PERF_BENCHES.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${DX_PERF_BUILD_DIR:-build-perf}
+SCALE=${DX_PERF_SCALE:-0.05}
+REPS=${DX_PERF_REPS:-3}
+MIN_SPEEDUP=${DX_PERF_MIN_SPEEDUP:-1.0}
+# target:jsonName pairs (jsonName is what --json writes as BENCH_<x>.json)
+BENCHES=${DX_PERF_BENCHES:-"fig08bc_microbench_allmiss:fig08bc fig09_speedup:fig09"}
+
+targets=""
+for b in $BENCHES; do targets="$targets ${b%%:*}"; done
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+# shellcheck disable=SC2086 # word-split the target list on purpose
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target $targets
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# run_bench <binary> <jsonName> <mode: naive|sched>
+# Prints min elapsed ms; leaves BENCH_<jsonName>_<mode>.json behind.
+run_bench() {
+    local bin=$1 json=$2 mode=$3 best= t0 t1 dt rep
+    for rep in $(seq "$REPS"); do
+        t0=$(now_ms)
+        if [ "$mode" = naive ]; then
+            DX_NAIVE_TICK=1 "$bin" --scale="$SCALE" --no-cache --json \
+                > /dev/null
+        else
+            DX_NAIVE_TICK=0 "$bin" --scale="$SCALE" --no-cache --json \
+                > /dev/null
+        fi
+        t1=$(now_ms)
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then
+            best=$dt
+        fi
+    done
+    mv "BENCH_${json}.json" "BENCH_${json}_${mode}.json"
+    echo "$best"
+}
+
+fail=0
+summary=perf_smoke_summary.txt
+printf '%-30s %10s %10s %8s\n' bench naive_ms sched_ms speedup > "$summary"
+
+for b in $BENCHES; do
+    target=${b%%:*} json=${b##*:}
+    bin="$BUILD_DIR/bench/$target"
+    naive_ms=$(run_bench "$bin" "$json" naive)
+    sched_ms=$(run_bench "$bin" "$json" sched)
+
+    if ! cmp -s "BENCH_${json}_naive.json" "BENCH_${json}_sched.json"; then
+        echo "FAIL: $target stats differ between tick schedulers:" >&2
+        diff "BENCH_${json}_naive.json" "BENCH_${json}_sched.json" >&2 || true
+        fail=1
+    fi
+
+    ratio=$(awk -v n="$naive_ms" -v s="$sched_ms" \
+        'BEGIN { printf "%.2f", (s > 0 ? n / s : 0) }')
+    printf '%-30s %10s %10s %7sx\n' \
+        "$target" "$naive_ms" "$sched_ms" "$ratio" | tee -a "$summary"
+    if awk -v r="$ratio" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(r < m) }'; then
+        echo "FAIL: $target speedup ${ratio}x < required ${MIN_SPEEDUP}x" >&2
+        fail=1
+    fi
+done
+
+exit "$fail"
