@@ -4,15 +4,17 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::cache
 {
 
 Cache::Cache(const Config &cfg, CachePort *downstream)
-    : cfg_(cfg), downstream_(downstream)
+    : Component(cfg.name), cfg_(cfg)
 {
-    dx_assert(downstream_, "cache needs a downstream port");
-    downstreamPopAddr_ = downstream_->portPopCountAddr();
+    dx_assert(downstream, "cache needs a downstream port");
+    downstream_.bind(*downstream);
+    downstreamPopAddr_ = downstream_->popCountAddr();
     const std::uint64_t lines = cfg_.sizeBytes / kLineBytes;
     dx_assert(lines % cfg_.assoc == 0, "size/assoc mismatch");
     numSets_ = static_cast<unsigned>(lines / cfg_.assoc);
@@ -66,15 +68,15 @@ Cache::freeMshr() const
 }
 
 bool
-Cache::portCanAccept() const
+Cache::canAccept() const
 {
     return queue_.size() < cfg_.queueSize;
 }
 
 void
-Cache::portRequest(const CacheReq &req)
+Cache::request(const CacheReq &req)
 {
-    dx_assert(portCanAccept(), cfg_.name, ": input queue overflow");
+    dx_assert(canAccept(), cfg_.name, ": input queue overflow");
     if (queue_.empty()) {
         // The push below becomes the new head: every head-derived memo
         // must go, and a kTimed "nothing until sleepUntil_" verdict
@@ -140,7 +142,7 @@ Cache::installLine(Addr line, bool dirty, bool prefetched)
 {
     // Installing a line other than the head's cannot break a kForward
     // verdict (the head still misses: evictions only remove lines the
-    // head was not hitting anyway — see cacheResponse). Any other
+    // head was not hitting anyway — see complete). Any other
     // class, or an install of the head's own line, must reclassify.
     if (selfClass_ != SelfClass::kForward ||
         (!queue_.empty() && lineAlign(queue_.front().req.addr) == line))
@@ -217,7 +219,7 @@ Cache::processRequest(const CacheReq &req)
             way->dirty = true;
         way->lastUse = ++useCounter_;
         if (req.sink)
-            req.sink->cacheResponse(req.tag);
+            req.sink->complete(req.tag);
         return true;
     }
 
@@ -226,7 +228,7 @@ Cache::processRequest(const CacheReq &req)
     if (req.write && req.fullLine) {
         installLine(line, true, false);
         if (req.sink)
-            req.sink->cacheResponse(req.tag);
+            req.sink->complete(req.tag);
         return true;
     }
 
@@ -264,7 +266,7 @@ Cache::processRequest(const CacheReq &req)
     }
     CacheReq probe;
     probe.addr = line;
-    if (!downstream_->portCanAcceptReq(probe)) {
+    if (!downstream_->canAcceptReq(probe)) {
         ++stats_.stallDownstream;
         return false;
     }
@@ -298,12 +300,12 @@ Cache::processRequest(const CacheReq &req)
     down.value = req.value;
     down.tag = static_cast<std::uint64_t>(idx);
     down.sink = this;
-    downstream_->portRequest(down);
+    downstream_->request(down);
     return true;
 }
 
 void
-Cache::cacheResponse(std::uint64_t tag)
+Cache::complete(const std::uint64_t &tag)
 {
     dx_assert(tag < mshrs_.size(), cfg_.name, ": bogus fill tag");
     // A fill cannot break a kForward verdict: it frees an MSHR (one
@@ -326,7 +328,7 @@ Cache::cacheResponse(std::uint64_t tag)
 
     for (const auto &t : m.targets) {
         if (t.sink)
-            t.sink->cacheResponse(t.tag);
+            t.sink->complete(t.tag);
     }
     m = Mshr{};
     dx_assert(mshrsInUse_ > 0, cfg_.name, ": MSHR count underflow");
@@ -343,9 +345,9 @@ Cache::drainWritebacks()
         wb.fullLine = true;
         wb.origin = mem::Origin::kWriteback;
         wb.sink = nullptr;
-        if (!downstream_->portCanAcceptReq(wb))
+        if (!downstream_->canAcceptReq(wb))
             return;
-        downstream_->portRequest(wb);
+        downstream_->request(wb);
         writebacks_.pop_front();
     }
 }
@@ -364,7 +366,7 @@ Cache::issuePrefetches()
         const int idx = freeMshr();
         CacheReq probe;
         probe.addr = lineAlign(line);
-        if (idx < 0 || !downstream_->portCanAcceptReq(probe))
+        if (idx < 0 || !downstream_->canAcceptReq(probe))
             return;
 
         Mshr &m = mshrs_[static_cast<unsigned>(idx)];
@@ -381,7 +383,7 @@ Cache::issuePrefetches()
         down.origin = mem::Origin::kPrefetch;
         down.tag = static_cast<std::uint64_t>(idx);
         down.sink = this;
-        downstream_->portRequest(down);
+        downstream_->request(down);
     }
 }
 
@@ -473,7 +475,7 @@ Cache::headStall() const
     }
     CacheReq probe;
     probe.addr = line;
-    return downstream_->portCanAcceptReq(probe) ? HeadStall::kNone
+    return downstream_->canAcceptReq(probe) ? HeadStall::kNone
                                                 : HeadStall::kDownstream;
 }
 
@@ -485,7 +487,7 @@ Cache::quiescentSlow() const
     if (qMemo_ == QMemo::kTimed && now_ + 1 < sleepUntil_)
         return true;
     if (qMemo_ == QMemo::kBlocked &&
-        downstream_->portPopCount() == blockedPops_) {
+        downstream_->popCount() == blockedPops_) {
         return true;
     }
     qMemo_ = QMemo::kNone;
@@ -522,7 +524,7 @@ Cache::quiescentSlow() const
       case HeadStall::kDownstream: {
         const std::uint64_t pops = downstreamPopAddr_
                                        ? *downstreamPopAddr_
-                                       : downstream_->portPopCount();
+                                       : downstream_->popCount();
         if (pops != kPortPopsUnknown) {
             qMemo_ = QMemo::kBlocked;
             blockedPops_ = pops;
@@ -537,7 +539,7 @@ Cycle
 Cache::nextEventAtSlow() const
 {
     // The input queue is served in order, so only the head can become
-    // due; MSHR fills arrive via cacheResponse (external stimulus). A
+    // due; MSHR fills arrive via complete (external stimulus). A
     // due-but-stalled head also unblocks only via external stimulus,
     // and entries behind it are blocked in order.
     if (queue_.empty())
@@ -565,6 +567,25 @@ Cache::skipCyclesSlow(Cycle n)
         }
     }
     now_ += n;
+}
+
+void
+Cache::registerStats(StatRegistry &reg) const
+{
+    StatRegistry::Group g = reg.group(path());
+    g.counter("demandHits", stats_.demandHits);
+    g.counter("demandMisses", stats_.demandMisses);
+    g.counter("demandAccesses", stats_.demandAccesses);
+    g.counter("dxHits", stats_.dxHits);
+    g.counter("dxMisses", stats_.dxMisses);
+    g.counter("mshrCoalesced", stats_.mshrCoalesced);
+    g.counter("writebacks", stats_.writebacks);
+    g.counter("evictions", stats_.evictions);
+    g.counter("backInvalidates", stats_.backInvalidates);
+    g.counter("prefetchesIssued", stats_.prefetchesIssued);
+    g.counter("prefetchesUseful", stats_.prefetchesUseful);
+    g.counter("stallMshrFull", stats_.stallMshrFull);
+    g.counter("stallDownstream", stats_.stallDownstream);
 }
 
 } // namespace dx::cache

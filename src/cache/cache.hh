@@ -22,11 +22,15 @@
 #include "cache/prefetcher.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/component.hh"
 
 namespace dx::cache
 {
 
-class Cache : public CachePort, public CacheRespSink
+class Cache final : public Component,
+                    public CachePort,
+                    public CacheRespSink,
+                    public SnoopPort
 {
   public:
     struct Config
@@ -68,20 +72,29 @@ class Cache : public CachePort, public CacheRespSink
     void addChild(Cache *child) { children_.push_back(child); }
 
     // CachePort (upstream-facing).
-    bool portCanAccept() const override;
-    void portRequest(const CacheReq &req) override;
-    std::uint64_t portPopCount() const override { return popCount_; }
+    bool canAccept() const override;
+    void request(const CacheReq &req) override;
+    std::uint64_t popCount() const override { return popCount_; }
     const std::uint64_t *
-    portPopCountAddr() const override
+    popCountAddr() const override
     {
         return &popCount_;
     }
 
     // CacheRespSink (downstream fill responses).
-    void cacheResponse(std::uint64_t tag) override;
+    void complete(const std::uint64_t &tag) override;
+
+    // Component introspection.
+    void registerStats(StatRegistry &reg) const override;
+
+    std::vector<PortRef>
+    portRefs() const override
+    {
+        return {{downstream_.name(), downstream_.bound()}};
+    }
 
     /** Advance one core cycle. */
-    void tick();
+    void tick() override;
 
     /**
      * Quiescence contract (see DESIGN.md): tick() would change nothing
@@ -96,7 +109,7 @@ class Cache : public CachePort, public CacheRespSink
      * compares at the call site, not a cross-TU call.
      */
     bool
-    quiescent() const
+    quiescent() const override
     {
         if (qMemo_ == QMemo::kTimed && now_ + 1 < sleepUntil_)
             return true;
@@ -117,7 +130,7 @@ class Cache : public CachePort, public CacheRespSink
      * memo this fast path returns.
      */
     Cycle
-    nextEventAt() const
+    nextEventAt() const override
     {
         if (qMemo_ == QMemo::kTimed)
             return sleepUntil_;
@@ -136,7 +149,7 @@ class Cache : public CachePort, public CacheRespSink
      * accumulate but the clock.
      */
     void
-    skipCycles(Cycle n)
+    skipCycles(Cycle n) override
     {
         // kBlocked is only ever established for a due head stalled on
         // the downstream port, so the accumulated counter is fixed.
@@ -153,7 +166,7 @@ class Cache : public CachePort, public CacheRespSink
     }
 
     /** This cache's clock (kept in sync with the System clock). */
-    Cycle localNow() const { return now_; }
+    Cycle localNow() const override { return now_; }
 
     /** True if any request, MSHR or writeback is in flight. */
     bool busy() const;
@@ -163,16 +176,14 @@ class Cache : public CachePort, public CacheRespSink
      * termination-side twin of quiescent(), used by System::run so a
      * run cannot end with requests still pending.
      */
-    bool drained() const;
+    bool drained() const override;
 
-    /** Snoop: line present (or being filled) at this level? */
-    bool containsLine(Addr line) const;
+    // SnoopPort: residency and invalidation (DX100's H bit).
+    bool containsLine(Addr line) const override;
+    bool invalidateLine(Addr line) override;
 
     /** Tag-store residency only (no in-flight fills). */
     bool tagsHold(Addr line) const;
-
-    /** Drop a line if present; returns true if it was dirty. */
-    bool invalidateLine(Addr line);
 
     /**
      * Pre-install a clean line (cache warm-up for regions that are
@@ -289,7 +300,7 @@ class Cache : public CachePort, public CacheRespSink
      *  - kBlocked: head due but stalled on a full downstream port;
      *    still stalled as long as the port's departure count has not
      *    moved (arrivals never free space).
-     * Cleared by tick(), portRequest(), cacheResponse(),
+     * Cleared by tick(), request(), complete(),
      * invalidateLine() and installLine().
      */
     enum class QMemo : std::uint8_t
@@ -309,7 +320,7 @@ class Cache : public CachePort, public CacheRespSink
     void drainWritebacks();
 
     const Config cfg_;
-    CachePort *const downstream_;
+    PortSlot<CacheReq> downstream_{"downstream"};
     std::unique_ptr<Prefetcher> prefetcher_;
     std::vector<Cache *> children_;
 
@@ -319,7 +330,7 @@ class Cache : public CachePort, public CacheRespSink
     unsigned mshrsInUse_ = 0; //!< live entries in mshrs_ (O(1) busy())
     std::deque<Pending> queue_;
     std::deque<Addr> writebacks_; //!< dirty victim lines awaiting drain
-    std::uint64_t popCount_ = 0;  //!< input-queue departures (portPopCount)
+    std::uint64_t popCount_ = 0;  //!< input-queue departures (popCount)
 
     Cycle now_ = 0;
     std::uint64_t useCounter_ = 0;

@@ -1,6 +1,10 @@
 /**
  * @file
- * Request/response interfaces between cache levels and memory-side ports.
+ * Cache-domain instantiations of the unified port layer (sim/port.hh).
+ *
+ * CachePort and CacheRespSink are thin aliases of RequestPort /
+ * Completion — the protocol (admission, pop-count watching, typed
+ * completions) is documented once on the templates.
  */
 
 #ifndef DX_CACHE_CACHE_IF_HH
@@ -10,17 +14,15 @@
 
 #include "common/types.hh"
 #include "mem/request.hh"
+#include "sim/port.hh"
 
 namespace dx::cache
 {
 
+using dx::kPortPopsUnknown;
+
 /** Receives line-granularity completions from a cache or port. */
-class CacheRespSink
-{
-  public:
-    virtual ~CacheRespSink() = default;
-    virtual void cacheResponse(std::uint64_t tag) = 0;
-};
+using CacheRespSink = Completion<std::uint64_t>;
 
 /** One request into a cache level (or a memory-side port). */
 struct CacheReq
@@ -35,54 +37,8 @@ struct CacheReq
     CacheRespSink *sink = nullptr;
 };
 
-/** portPopCount() value for ports that do not track departures. */
-inline constexpr std::uint64_t kPortPopsUnknown = ~std::uint64_t{0};
-
 /** Anything a cache can send misses to (a lower cache, DRAM, DX100). */
-class CachePort
-{
-  public:
-    virtual ~CachePort() = default;
-    virtual bool portCanAccept() const = 0;
-
-    /**
-     * Monotonic count of departures from whatever resource gates
-     * admission here (queue pops, command issues). Arrivals never free
-     * space, so a waiter that found the port full may cache that
-     * verdict and re-probe only when the count moves instead of every
-     * cycle — the scheduler's cheap alternative to per-cycle polling.
-     * Ports that do not track departures return kPortPopsUnknown,
-     * which waiters must treat as "never cache".
-     */
-    virtual std::uint64_t portPopCount() const { return kPortPopsUnknown; }
-
-    /**
-     * Stable address of the counter portPopCount() reads, for waiters
-     * that probe it every cycle (the quiescence fast paths): one load
-     * instead of a virtual call. Null when the count is aggregated or
-     * untracked — callers must then fall back to portPopCount(). The
-     * address must stay valid and live-updating for the port's
-     * lifetime.
-     */
-    virtual const std::uint64_t *portPopCountAddr() const
-    {
-        return nullptr;
-    }
-
-    /**
-     * Request-specific admission: ports that multiplex resources by
-     * address (the DRAM adapter's per-channel queues) override this so
-     * one busy resource does not starve traffic headed elsewhere.
-     */
-    virtual bool
-    portCanAcceptReq(const CacheReq &req) const
-    {
-        (void)req;
-        return portCanAccept();
-    }
-
-    virtual void portRequest(const CacheReq &req) = 0;
-};
+using CachePort = RequestPort<CacheReq>;
 
 } // namespace dx::cache
 

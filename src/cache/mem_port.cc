@@ -6,7 +6,7 @@ namespace dx::cache
 {
 
 bool
-DramPort::portCanAccept() const
+DramPort::canAccept() const
 {
     // Conservative: every channel must have room for a read and a write,
     // since the caller does not tell us the target channel in advance.
@@ -20,13 +20,13 @@ DramPort::portCanAccept() const
 }
 
 bool
-DramPort::portCanAcceptReq(const CacheReq &req) const
+DramPort::canAcceptReq(const CacheReq &req) const
 {
     return dram_.canAccept(lineAlign(req.addr), req.write);
 }
 
 void
-DramPort::portRequest(const CacheReq &req)
+DramPort::request(const CacheReq &req)
 {
     const Addr line = lineAlign(req.addr);
     if (req.write) {
@@ -49,7 +49,7 @@ DramPort::portRequest(const CacheReq &req)
 }
 
 void
-DramPort::memResponse(const mem::MemRequest &mreq)
+DramPort::complete(const mem::MemRequest &mreq)
 {
     dx_assert(!mreq.write, "unexpected write response at DramPort");
     const auto slot = static_cast<std::uint32_t>(mreq.tag);
@@ -57,41 +57,41 @@ DramPort::memResponse(const mem::MemRequest &mreq)
     freeSlots_.push_back(slot);
     --inflight_;
     if (req.sink)
-        req.sink->cacheResponse(req.tag);
+        req.sink->complete(req.tag);
 }
 
 bool
-RangeRouter::portCanAccept() const
+RangeRouter::canAccept() const
 {
-    if (!fallback_->portCanAccept())
+    if (!fallback_->canAccept())
         return false;
     for (const auto &r : ranges_) {
-        if (!r.port->portCanAccept())
+        if (!r.port->canAccept())
             return false;
     }
     return true;
 }
 
 bool
-RangeRouter::portCanAcceptReq(const CacheReq &req) const
+RangeRouter::canAcceptReq(const CacheReq &req) const
 {
     for (const auto &r : ranges_) {
         if (req.addr >= r.begin && req.addr < r.end)
-            return r.port->portCanAcceptReq(req);
+            return r.port->canAcceptReq(req);
     }
-    return fallback_->portCanAcceptReq(req);
+    return fallback_->canAcceptReq(req);
 }
 
 void
-RangeRouter::portRequest(const CacheReq &req)
+RangeRouter::request(const CacheReq &req)
 {
     for (const auto &r : ranges_) {
         if (req.addr >= r.begin && req.addr < r.end) {
-            r.port->portRequest(req);
+            r.port->request(req);
             return;
         }
     }
-    fallback_->portRequest(req);
+    fallback_->request(req);
 }
 
 } // namespace dx::cache

@@ -22,20 +22,20 @@ class DramPort : public CachePort, public mem::MemRespSink
   public:
     explicit DramPort(mem::DramSystem &dram) : dram_(dram) {}
 
-    bool portCanAccept() const override;
-    bool portCanAcceptReq(const CacheReq &req) const override;
-    void portRequest(const CacheReq &req) override;
-    void memResponse(const mem::MemRequest &req) override;
+    bool canAccept() const override;
+    bool canAcceptReq(const CacheReq &req) const override;
+    void request(const CacheReq &req) override;
+    void complete(const mem::MemRequest &req) override;
 
     /** Admission is gated on controller buffers; report their drains. */
     std::uint64_t
-    portPopCount() const override
+    popCount() const override
     {
         return dram_.dequeueCount();
     }
 
     const std::uint64_t *
-    portPopCountAddr() const override
+    popCountAddr() const override
     {
         return dram_.dequeueCountAddr();
     }
@@ -64,22 +64,22 @@ class RangeRouter : public CachePort
         ranges_.push_back({base, base + size, port});
     }
 
-    bool portCanAccept() const override;
-    bool portCanAcceptReq(const CacheReq &req) const override;
-    void portRequest(const CacheReq &req) override;
+    bool canAccept() const override;
+    bool canAcceptReq(const CacheReq &req) const override;
+    void request(const CacheReq &req) override;
 
     /**
      * Departures across every routed port; unknown if any subport
      * cannot track them (a waiter must then probe every cycle).
      */
     std::uint64_t
-    portPopCount() const override
+    popCount() const override
     {
-        std::uint64_t sum = fallback_->portPopCount();
+        std::uint64_t sum = fallback_->popCount();
         if (sum == kPortPopsUnknown)
             return kPortPopsUnknown;
         for (const auto &r : ranges_) {
-            const std::uint64_t p = r.port->portPopCount();
+            const std::uint64_t p = r.port->popCount();
             if (p == kPortPopsUnknown)
                 return kPortPopsUnknown;
             sum += p;

@@ -1,8 +1,10 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::cpu
 {
@@ -29,10 +31,12 @@ isFencingKind(OpKind k)
 } // namespace
 
 Core::Core(const Config &cfg, int id, cache::CachePort *l1)
-    : cfg_(cfg), id_(id), l1_(l1), rob_(cfg.robSize), wheel_(64)
+    : Component("core" + std::to_string(id)), cfg_(cfg), id_(id),
+      rob_(cfg.robSize), wheel_(64)
 {
-    dx_assert(l1_, "core needs an L1 port");
-    l1PopAddr_ = l1_->portPopCountAddr();
+    dx_assert(l1, "core needs an L1 port");
+    l1_.bind(*l1);
+    l1PopAddr_ = l1_->popCountAddr();
 }
 
 Core::RobEntry &
@@ -172,7 +176,7 @@ Core::markComplete(SeqNum seq)
 }
 
 void
-Core::cacheResponse(std::uint64_t tag)
+Core::complete(const std::uint64_t &tag)
 {
     sleepValid_ = false;
     blockedValid_ = false;
@@ -198,9 +202,9 @@ Core::issueMemOp(RobEntry &e, SeqNum seq)
     req.value = e.op.value;
     req.tag = seq;
     req.sink = this;
-    if (!l1_->portCanAccept())
+    if (!l1_->canAccept())
         return false;
-    l1_->portRequest(req);
+    l1_->request(req);
     e.state = EntryState::kIssued;
     return true;
 }
@@ -272,7 +276,7 @@ Core::commit()
                     storeBuffer_.empty() && inflightStoreWrites_ == 0 &&
                     mmioBuffer_.empty()) {
                     if (issueMemOp(e, robHead_)) {
-                        // issued; completes via cacheResponse
+                        // issued; completes via complete
                     }
                 }
                 return;
@@ -340,7 +344,7 @@ void
 Core::drainStores()
 {
     for (unsigned n = 0; n < cfg_.storeDrain; ++n) {
-        if (storeBuffer_.empty() || !l1_->portCanAccept())
+        if (storeBuffer_.empty() || !l1_->canAccept())
             return;
         const MicroOp &op = storeBuffer_.front();
         cache::CacheReq req;
@@ -349,7 +353,7 @@ Core::drainStores()
         req.pc = op.pc;
         req.tag = kStoreTag;
         req.sink = this;
-        l1_->portRequest(req);
+        l1_->request(req);
         ++inflightStoreWrites_;
         storeBuffer_.pop_front();
     }
@@ -422,7 +426,7 @@ Core::quiescentSlow() const
     if (sleepValid_)
         return true;
     if (blockedValid_ &&
-        (l1PopAddr_ ? *l1PopAddr_ : l1_->portPopCount()) ==
+        (l1PopAddr_ ? *l1PopAddr_ : l1_->popCount()) ==
             blockedPops_) {
         return true;
     }
@@ -445,10 +449,10 @@ Core::quiescentSlow() const
             return false; // likewise
         if (e.op.kind != OpKind::kLoad || fencePending(seq))
             return false; // would issue or move to fenceBlocked_
-        if (l1_->portCanAccept())
+        if (l1_->canAccept())
             return false; // the load would issue
     }
-    if (!storeBuffer_.empty() && l1_->portCanAccept())
+    if (!storeBuffer_.empty() && l1_->canAccept())
         return false; // drainStores() would issue
     // dispatch() would refill the front-end buffer from the kernel.
     if (kernel_ && kernel_->more() && opBuffer_.size() < 4 * cfg_.width)
@@ -477,7 +481,7 @@ Core::quiescentSlow() const
         sleepValid_ = true;
     } else {
         const std::uint64_t pops =
-            l1PopAddr_ ? *l1PopAddr_ : l1_->portPopCount();
+            l1PopAddr_ ? *l1PopAddr_ : l1_->popCount();
         if (pops != cache::kPortPopsUnknown) {
             blockedValid_ = true;
             blockedPops_ = pops;
@@ -520,7 +524,7 @@ Core::skipCycles(Cycle n)
 
     // Exactly the per-cycle counters the naive loop would have bumped
     // while frozen in this state; the classification inputs only move
-    // through tick()/cacheResponse(), so it is memoized across skips.
+    // through tick()/complete(), so it is memoized across skips.
     if (!skipMemoValid_) {
         skipWait_ = false;
         if (robHead_ != robTail_) {
@@ -554,6 +558,39 @@ Core::done() const
     return (!kernel_ || !kernel_->more()) && opBuffer_.empty() &&
            robHead_ == robTail_ && storeBuffer_.empty() &&
            mmioBuffer_.empty() && inflightStoreWrites_ == 0;
+}
+
+void
+Core::registerStats(StatRegistry &reg) const
+{
+    StatRegistry::Group g = reg.group(path());
+    g.counter("committedOps", stats_.committedOps);
+    g.counter("committedLoads", stats_.committedLoads);
+    g.counter("committedStores", stats_.committedStores);
+    g.counter("committedRmws", stats_.committedRmws);
+    g.counter("waitCycles", stats_.waitCycles);
+    g.counter("robStallCycles", stats_.robStallCycles);
+    g.counter("lqStallCycles", stats_.lqStallCycles);
+    g.counter("sqStallCycles", stats_.sqStallCycles);
+    g.value("cycles", stats_.cycles);
+
+    StatRegistry::Group lsq = g.sub("lsq");
+    lsq.value("occupancyAccum", stats_.lqOccupancyAccum);
+    lsq.gauge("occupancy", [this] {
+        return stats_.cycles ? static_cast<double>(
+                                   stats_.lqOccupancyAccum) /
+                                   static_cast<double>(stats_.cycles)
+                             : 0.0;
+    });
+
+    StatRegistry::Group rob = g.sub("rob");
+    rob.value("occupancyAccum", stats_.robOccupancyAccum);
+    rob.gauge("occupancy", [this] {
+        return stats_.cycles ? static_cast<double>(
+                                   stats_.robOccupancyAccum) /
+                                   static_cast<double>(stats_.cycles)
+                             : 0.0;
+    });
 }
 
 } // namespace dx::cpu

@@ -24,11 +24,14 @@
 #include "common/types.hh"
 #include "cpu/microop.hh"
 #include "cpu/mmio.hh"
+#include "sim/component.hh"
 
 namespace dx::cpu
 {
 
-class Core : public cache::CacheRespSink, public OpEmitter
+class Core final : public Component,
+                   public cache::CacheRespSink,
+                   public OpEmitter
 {
   public:
     struct Config
@@ -76,7 +79,7 @@ class Core : public cache::CacheRespSink, public OpEmitter
     void setMmioDevice(MmioDevice *dev) { mmio_ = dev; }
 
     /** Advance one core cycle. */
-    void tick();
+    void tick() override;
 
     /**
      * Quiescence contract (see DESIGN.md): tick() this cycle would
@@ -89,12 +92,12 @@ class Core : public cache::CacheRespSink, public OpEmitter
      * so the sleep-stable memo must cost one load at the call site.
      */
     bool
-    quiescent() const
+    quiescent() const override
     {
         if (sleepValid_)
             return true;
         // L1-gated memo: valid while the L1 pop counter is unmoved
-        // (one load via the cached address — see portPopCountAddr).
+        // (one load via the cached address — see popCountAddr).
         if (blockedValid_ && l1PopAddr_ && *l1PopAddr_ == blockedPops_)
             return true;
         return quiescentSlow();
@@ -108,7 +111,7 @@ class Core : public cache::CacheRespSink, public OpEmitter
      * is memoized against the same entry points as the sleep memo.
      */
     Cycle
-    nextEventAt() const
+    nextEventAt() const override
     {
         return evMemoValid_ ? evMemo_ : nextEventAtSlow();
     }
@@ -118,19 +121,31 @@ class Core : public cache::CacheRespSink, public OpEmitter
      * quiescent, accumulating exactly the stats the naive per-cycle
      * loop would have.
      */
-    void skipCycles(Cycle n);
+    void skipCycles(Cycle n) override;
 
     /** This core's clock (kept in sync with the System clock). */
-    Cycle localNow() const { return now_; }
+    Cycle localNow() const override { return now_; }
 
     /** Kernel exhausted and every buffer drained. */
     bool done() const;
+
+    /** Component drain is the same predicate as done(). */
+    bool drained() const override { return done(); }
+
+    // Component introspection.
+    void registerStats(StatRegistry &reg) const override;
+
+    std::vector<PortRef>
+    portRefs() const override
+    {
+        return {{l1_.name(), l1_.bound()}};
+    }
 
     // OpEmitter: queue an op into the front-end buffer.
     SeqNum emit(const MicroOp &op) override;
 
     // CacheRespSink: load/store/RMW completions from L1.
-    void cacheResponse(std::uint64_t tag) override;
+    void complete(const std::uint64_t &tag) override;
 
     const Stats &stats() const { return stats_; }
     int id() const { return id_; }
@@ -182,7 +197,7 @@ class Core : public cache::CacheRespSink, public OpEmitter
      * L1 input-queue space (which changes without this core seeing a
      * call). Only the ready-queue-front and store-drain no-op cases
      * consult the L1, so the memo is set only when both queues are
-     * empty. Cleared by tick(), cacheResponse() and setKernel() — the
+     * empty. Cleared by tick(), complete() and setKernel() — the
      * only entry points that mutate core state. While set, quiescent()
      * is a single load.
      */
@@ -236,7 +251,7 @@ class Core : public cache::CacheRespSink, public OpEmitter
 
     const Config cfg_;
     const int id_;
-    cache::CachePort *const l1_;
+    PortSlot<cache::CacheReq> l1_{"l1"};
     Kernel *kernel_ = nullptr;
     MmioDevice *mmio_ = nullptr;
 

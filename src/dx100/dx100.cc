@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "dx100/functional.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::dx100
 {
@@ -12,8 +13,8 @@ namespace dx::dx100
 Dx100::Dx100(const Dx100Config &cfg, mem::DramSystem &dram,
              cache::CachePort *llcPort, CoherencyAgent agent,
              unsigned maxCores)
-    : cfg_(cfg), dram_(dram), llcPort_(llcPort),
-      llcPopAddr_(llcPort ? llcPort->portPopCountAddr() : nullptr),
+    : Component("dx100"), cfg_(cfg), dram_(dram),
+      llcPopAddr_(llcPort ? llcPort->popCountAddr() : nullptr),
       agent_(agent),
       tlb_(cfg.tlbEntries, cfg.tlbMissPenalty),
       doorbells_(maxCores), sideband_(maxCores),
@@ -22,6 +23,8 @@ Dx100::Dx100(const Dx100Config &cfg, mem::DramSystem &dram,
       tables_({dram.geometry().totalBanks(), cfg.rowsPerSlice,
                cfg.colsPerRow})
 {
+    if (llcPort)
+        llcPort_.bind(*llcPort);
     retired_.push_back(true); // id 0 unused
     streamSink_.owner = this;
     llcSink_.owner = this;
@@ -371,7 +374,7 @@ Dx100::invalidateTileLines(unsigned tile)
 // ---------------------------------------------------------------------
 
 void
-Dx100::StreamSink::cacheResponse(std::uint64_t tag)
+Dx100::StreamSink::complete(const std::uint64_t &tag)
 {
     (void)tag;
     StreamUnit &u = owner->stream_;
@@ -448,7 +451,7 @@ Dx100::streamTick(StreamUnit &u)
             break;
         if (u.outstanding >= cfg_.requestTableSize)
             break;
-        if (!llcPort_ || !llcPort_->portCanAccept())
+        if (!llcPort_ || !llcPort_->canAccept())
             break;
         cache::CacheReq req;
         req.addr = u.lines[u.issuePos];
@@ -457,7 +460,7 @@ Dx100::streamTick(StreamUnit &u)
         req.origin = mem::Origin::kDx100;
         req.tag = u.issuePos;
         req.sink = &streamSink_;
-        llcPort_->portRequest(req);
+        llcPort_->request(req);
         if (u.isStore)
             ++stats_.llcWrites;
         else
@@ -502,7 +505,7 @@ Dx100::streamTick(StreamUnit &u)
 // ---------------------------------------------------------------------
 
 void
-Dx100::LlcSink::cacheResponse(std::uint64_t tag)
+Dx100::LlcSink::complete(const std::uint64_t &tag)
 {
     owner->qMemo_ = QMemo::kNone;
     owner->indirect_.responses.push_back(
@@ -514,7 +517,7 @@ Dx100::LlcSink::cacheResponse(std::uint64_t tag)
 }
 
 void
-Dx100::memResponse(const mem::MemRequest &req)
+Dx100::complete(const mem::MemRequest &req)
 {
     dx_assert(!req.write, "unexpected DRAM write response");
     qMemo_ = QMemo::kNone;
@@ -666,7 +669,7 @@ Dx100::indirectRequests(IndirectUnit &u)
 
             const Addr line = u.lineOfHandle[req->handle];
             if (req->cacheHit) {
-                if (!llcPort_ || !llcPort_->portCanAccept()) {
+                if (!llcPort_ || !llcPort_->canAccept()) {
                     tables_.unsend(*req);
                     blocked = true;
                     break;
@@ -677,7 +680,7 @@ Dx100::indirectRequests(IndirectUnit &u)
                 creq.origin = mem::Origin::kDx100;
                 creq.tag = req->handle;
                 creq.sink = &llcSink_;
-                llcPort_->portRequest(creq);
+                llcPort_->request(creq);
                 ++stats_.llcReads;
             } else {
                 if (!dram_.channel(ch).canAccept(false)) {
@@ -731,14 +734,14 @@ Dx100::indirectWrites(IndirectUnit &u)
     while (!u.pendingWrites.empty()) {
         const auto [line, viaCache] = u.pendingWrites.front();
         if (viaCache) {
-            if (!llcPort_ || !llcPort_->portCanAccept())
+            if (!llcPort_ || !llcPort_->canAccept())
                 return {sent, true};
             cache::CacheReq creq;
             creq.addr = line;
             creq.write = true;
             creq.origin = mem::Origin::kDx100;
             creq.sink = nullptr;
-            llcPort_->portRequest(creq);
+            llcPort_->request(creq);
             ++stats_.llcWrites;
         } else {
             if (!dram_.canAccept(line, true))
@@ -821,7 +824,7 @@ Dx100::drainPops() const
     if (llcPopAddr_)
         return *llcPopAddr_ + dram_.dequeueCount();
     const std::uint64_t llc =
-        llcPort_ ? llcPort_->portPopCount() : 0;
+        llcPort_ ? llcPort_->popCount() : 0;
     if (llc == cache::kPortPopsUnknown)
         return cache::kPortPopsUnknown;
     return llc + dram_.dequeueCount();
@@ -852,13 +855,13 @@ Dx100::timedTick(TimedUnit &u, UnitKind kind)
 // ---------------------------------------------------------------------
 
 bool
-Dx100::SpdPort::portCanAccept() const
+Dx100::SpdPort::canAccept() const
 {
     return queue.size() < owner->cfg_.spdPortQueue;
 }
 
 void
-Dx100::SpdPort::portRequest(const cache::CacheReq &req)
+Dx100::SpdPort::request(const cache::CacheReq &req)
 {
     owner->qMemo_ = QMemo::kNone;
     queue.push_back({owner->now_ + owner->cfg_.spdReadLatency, req});
@@ -904,7 +907,7 @@ Dx100::spdTick()
         spdPort_.queue.pop_front();
         ++stats_.spdLinesServed;
         if (req.sink)
-            req.sink->cacheResponse(req.tag);
+            req.sink->complete(req.tag);
     }
 }
 
@@ -1015,6 +1018,43 @@ Dx100::idle() const
             return false;
     }
     return true;
+}
+
+void
+Dx100::registerStats(StatRegistry &reg) const
+{
+    StatRegistry::Group g = reg.group(path());
+    g.counter("instructionsRetired", stats_.instructionsRetired);
+    g.counter("dramReads", stats_.dramReads);
+    g.counter("dramWrites", stats_.dramWrites);
+    g.counter("llcReads", stats_.llcReads);
+    g.counter("llcWrites", stats_.llcWrites);
+    g.counter("spdLinesServed", stats_.spdLinesServed);
+    g.counter("invalidations", stats_.invalidations);
+    g.counter("fillStallCycles", stats_.fillStallCycles);
+    g.counter("dispatchStalls", stats_.dispatchStalls);
+
+    // The Row/Word Table reordering metrics (§3.4): words gathered,
+    // unique DRAM columns touched, and their ratio — the paper's
+    // coalescing factor.
+    StatRegistry::Group rt = g.sub("rowtable");
+    rt.counter("words", stats_.indirectWords);
+    rt.counter("columns", stats_.indirectColumns);
+    // Insertions that chained onto an already-open column instead of
+    // allocating a new one — the table's coalescing hits.
+    rt.value("hits", std::function<std::uint64_t()>([this] {
+                 return stats_.indirectWords.value() -
+                        stats_.indirectColumns.value();
+             }));
+    rt.gauge("coalescingFactor",
+             [this] { return stats_.coalescingFactor(); });
+
+    StatRegistry::Group op = g.sub("opcode");
+    static const char *const kOpNames[8] = {
+        "ild", "ist", "irmw", "sld", "sst", "aluv", "alus", "rng",
+    };
+    for (std::size_t i = 0; i < stats_.byOpcode.size(); ++i)
+        op.counter(kOpNames[i], stats_.byOpcode[i]);
 }
 
 } // namespace dx::dx100

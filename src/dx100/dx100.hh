@@ -28,7 +28,7 @@
 #include <utility>
 #include <vector>
 
-#include "cache/cache.hh"
+#include "cache/cache_if.hh"
 #include "common/stats.hh"
 #include "cpu/mmio.hh"
 #include "dx100/config.hh"
@@ -37,6 +37,7 @@
 #include "dx100/row_table.hh"
 #include "dx100/tlb.hh"
 #include "mem/dram_system.hh"
+#include "sim/component.hh"
 
 namespace dx::dx100
 {
@@ -49,8 +50,8 @@ namespace dx::dx100
 class CoherencyAgent
 {
   public:
-    void setLlc(cache::Cache *llc) { llc_ = llc; }
-    void addCache(cache::Cache *c) { caches_.push_back(c); }
+    void setLlc(SnoopPort *llc) { llc_ = llc; }
+    void addCache(SnoopPort *c) { caches_.push_back(c); }
 
     bool
     isCached(Addr line) const
@@ -63,7 +64,7 @@ class CoherencyAgent
     invalidateLine(Addr line)
     {
         unsigned n = 0;
-        for (cache::Cache *c : caches_) {
+        for (SnoopPort *c : caches_) {
             if (c->containsLine(line)) {
                 c->invalidateLine(line);
                 ++n;
@@ -75,11 +76,13 @@ class CoherencyAgent
     bool hasHierarchy() const { return llc_ != nullptr; }
 
   private:
-    cache::Cache *llc_ = nullptr;
-    std::vector<cache::Cache *> caches_;
+    SnoopPort *llc_ = nullptr;
+    std::vector<SnoopPort *> caches_;
 };
 
-class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
+class Dx100 final : public Component,
+                    public cpu::MmioDevice,
+                    public mem::MemRespSink
 {
   public:
     struct Stats
@@ -137,8 +140,20 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     /** Port the LLC's range router steers SPD-region lines to. */
     cache::CachePort &spdPort() { return spdPort_; }
 
-    void tick();
+    void tick() override;
     bool idle() const;
+
+    /** Component drain is the same predicate as idle(). */
+    bool drained() const override { return idle(); }
+
+    // Component introspection.
+    void registerStats(StatRegistry &reg) const override;
+
+    std::vector<PortRef>
+    portRefs() const override
+    {
+        return {{llcPort_.name(), llcPort_.bound()}};
+    }
 
     /**
      * Quiescence contract (see DESIGN.md): tick() would be a no-op —
@@ -156,7 +171,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
      * or a compare plus a port pop-count read — per scheduler query.
      */
     bool
-    quiescent() const
+    quiescent() const override
     {
         if (qMemo_ == QMemo::kTimed && now_ + 1 < qSleepUntil_)
             return true;
@@ -174,7 +189,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
      * SPD entries share one fixed latency, so the head is the minimum.
      */
     Cycle
-    nextEventAt() const
+    nextEventAt() const override
     {
         return spdPort_.queue.empty() ? kNeverCycle
                                       : spdPort_.queue.front().first;
@@ -186,16 +201,16 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
      * Accumulates the per-cycle stall stats a slice-full fill retry
      * would have produced, so skipped runs stay bit-identical.
      */
-    void skipCycles(Cycle n);
+    void skipCycles(Cycle n) override;
 
     /** This instance's clock (kept in sync with the System clock). */
-    Cycle localNow() const { return now_; }
+    Cycle localNow() const override { return now_; }
 
     /** Tile ready bit (true = no in-flight instruction uses it). */
     bool tileReady(unsigned tile) const;
 
     // mem::MemRespSink (direct DRAM responses for the indirect unit).
-    void memResponse(const mem::MemRequest &req) override;
+    void complete(const mem::MemRequest &req) override;
 
     const Stats &stats() const { return stats_; }
     const Dx100Config &config() const { return cfg_; }
@@ -258,7 +273,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     struct StreamSink : public cache::CacheRespSink
     {
         Dx100 *owner = nullptr;
-        void cacheResponse(std::uint64_t tag) override;
+        void complete(const std::uint64_t &tag) override;
     };
 
     struct StreamUnit
@@ -274,7 +289,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
         /**
          * Set by streamTick() after a cycle that issued nothing and
          * could not retire: the next tick is a provable no-op until a
-         * response arrives (StreamSink::cacheResponse clears the
+         * response arrives (StreamSink::complete clears the
          * flag) or, when the LLC refused admission (waitBlocked),
          * until a port departure (watched via waitPops). Never set
          * while gated on a producer's finish bits — those advance in
@@ -304,7 +319,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
     struct LlcSink : public cache::CacheRespSink
     {
         Dx100 *owner = nullptr;
-        void cacheResponse(std::uint64_t tag) override;
+        void complete(const std::uint64_t &tag) override;
     };
 
     struct IndirectUnit
@@ -333,7 +348,7 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
          * response entry points clear the flag) — or, when a sendable
          * request/write was merely blocked on DRAM/LLC admission
          * (waitBlocked), until those ports record a departure
-         * (watched via waitPops, see CachePort::portPopCount).
+         * (watched via waitPops, see CachePort::popCount).
          */
         bool waitIdle = false;
         bool waitBlocked = false;
@@ -383,8 +398,8 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
         Dx100 *owner = nullptr;
         std::deque<std::pair<Cycle, cache::CacheReq>> queue;
 
-        bool portCanAccept() const override;
-        void portRequest(const cache::CacheReq &req) override;
+        bool canAccept() const override;
+        void request(const cache::CacheReq &req) override;
     };
 
     void spdTick();
@@ -393,7 +408,8 @@ class Dx100 : public cpu::MmioDevice, public mem::MemRespSink
 
     const Dx100Config cfg_;
     mem::DramSystem &dram_;
-    cache::CachePort *llcPort_; //!< cache interface (may be null)
+    //! Cache interface (may stay unbound in unit tests).
+    PortSlot<cache::CacheReq> llcPort_{"llc"};
     //! LLC pop counter, resolved once at wiring (null if untracked).
     const std::uint64_t *llcPopAddr_ = nullptr;
     CoherencyAgent agent_;

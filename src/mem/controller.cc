@@ -1,14 +1,17 @@
 #include "mem/controller.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::mem
 {
 
 MemoryController::MemoryController(const Config &cfg, unsigned channelId)
-    : cfg_(cfg), channel_(channelId),
+    : Component("ch" + std::to_string(channelId)),
+      cfg_(cfg), channel_(channelId),
       banks_(cfg.geom.banksPerChannel()),
       nextRefresh_(cfg.timings.tREFI)
 {
@@ -86,7 +89,7 @@ MemoryController::deliverResponses()
         MemRequest req = pending_.front().req;
         pending_.pop_front();
         if (req.sink)
-            req.sink->memResponse(req);
+            req.sink->complete(req);
         delivered = true;
     }
     return delivered;
@@ -461,6 +464,26 @@ MemoryController::refreshEventHint() const
 {
     eventHint_ = computeEventHint();
     eventHintValid_ = true;
+}
+
+void
+MemoryController::registerStats(StatRegistry &reg) const
+{
+    auto g = reg.group(path());
+    g.counter("cycles", stats_.cycles);
+    g.counter("readsServed", stats_.readsServed);
+    g.counter("writesServed", stats_.writesServed);
+    g.counter("rowHits", stats_.rowHits);
+    g.counter("rowMisses", stats_.rowMisses);
+    g.counter("rowConflicts", stats_.rowConflicts);
+    g.counter("actCommands", stats_.actCommands);
+    g.counter("preCommands", stats_.preCommands);
+    g.counter("refCommands", stats_.refCommands);
+    g.counter("busBusyCycles", stats_.busBusyCycles);
+    g.value("occupancyAccum", stats_.occupancyAccum);
+    g.gauge("rowHitRate", [this] { return stats_.rowHitRate(); });
+    g.gauge("busUtilization",
+            [this] { return stats_.busUtilization(); });
 }
 
 } // namespace dx::mem

@@ -24,11 +24,12 @@
 #include "mem/address_map.hh"
 #include "mem/dram_timings.hh"
 #include "mem/request.hh"
+#include "sim/component.hh"
 
 namespace dx::mem
 {
 
-class MemoryController
+class MemoryController final : public Component
 {
   public:
     struct Config
@@ -86,7 +87,7 @@ class MemoryController
     void enqueue(const MemRequest &req);
 
     /** Advance one controller clock cycle. */
-    void tick();
+    void tick() override;
 
     /**
      * Quiescence contract (see DESIGN.md): the next controller tick
@@ -105,7 +106,7 @@ class MemoryController
      * unproductive stretch re-enables real hint probing.
      */
     bool
-    quiescent() const
+    quiescent() const override
     {
         return idleStreak_ >= 2 && nextEventAt() > now_ + 1;
     }
@@ -120,7 +121,7 @@ class MemoryController
      * hint costs one compare at the call site.
      */
     Cycle
-    nextEventAt() const
+    nextEventAt() const override
     {
         if (!eventHintValid_)
             refreshEventHint();
@@ -137,7 +138,7 @@ class MemoryController
      * proven quiescent (nextEventAt() > now() + n).
      */
     void
-    skipCycles(Cycle n)
+    skipCycles(Cycle n) override
     {
         now_ += n;
         stats_.cycles += n;
@@ -148,8 +149,17 @@ class MemoryController
     /** Current controller cycle. */
     Cycle now() const { return now_; }
 
+    /** Component clock: the controller-domain cycle. */
+    Cycle localNow() const override { return now_; }
+
     /** True when both queues and in-flight responses are empty. */
     bool idle() const;
+
+    /** Component drain is the same predicate as idle(). */
+    bool drained() const override { return idle(); }
+
+    // Component introspection.
+    void registerStats(StatRegistry &reg) const override;
 
     /**
      * Monotonic count of entries that left the request buffers (column

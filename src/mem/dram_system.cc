@@ -3,17 +3,19 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::mem
 {
 
 DramSystem::DramSystem(const Config &cfg)
-    : cfg_(cfg), map_(cfg.ctrl.geom, cfg.order)
+    : Component("dram"), cfg_(cfg), map_(cfg.ctrl.geom, cfg.order)
 {
     for (unsigned c = 0; c < cfg_.ctrl.geom.channels; ++c) {
         channels_.push_back(
             std::make_unique<MemoryController>(cfg_.ctrl, c));
         channels_.back()->setDequeueMirror(&totalDequeues_);
+        adopt(*channels_.back());
     }
 }
 
@@ -172,6 +174,19 @@ DramSystem::peakBytesPerCoreCycle() const
         static_cast<double>(kLineBytes) /
         (cfg_.ctrl.timings.tBL * cfg_.clockRatio);
     return perChannel * channels_.size();
+}
+
+void
+DramSystem::registerStats(StatRegistry &reg) const
+{
+    auto g = reg.group(path());
+    g.gauge("busUtilization", [this] { return busUtilization(); });
+    g.gauge("rowHitRate", [this] { return rowHitRate(); });
+    g.gauge("queueOccupancy", [this] { return queueOccupancy(); });
+    g.value("linesTransferred",
+            std::function<std::uint64_t()>(
+                [this] { return linesTransferred(); }));
+    g.value("dequeues", totalDequeues_);
 }
 
 } // namespace dx::mem

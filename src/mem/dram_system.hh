@@ -14,11 +14,12 @@
 #include "mem/address_map.hh"
 #include "mem/controller.hh"
 #include "mem/request.hh"
+#include "sim/component.hh"
 
 namespace dx::mem
 {
 
-class DramSystem
+class DramSystem final : public Component
 {
   public:
     struct Config
@@ -45,7 +46,7 @@ class DramSystem
 
     /**
      * Stable address of that sum, for per-cycle waiters (see
-     * CachePort::portPopCountAddr): the channels mirror every dequeue
+     * CachePort::popCountAddr): the channels mirror every dequeue
      * into it, so a probe is one load instead of a channel loop.
      */
     const std::uint64_t *dequeueCountAddr() const
@@ -58,7 +59,7 @@ class DramSystem
                 std::uint64_t tag, MemRespSink *sink);
 
     /** Advance one core clock cycle. */
-    void tick();
+    void tick() override;
 
     /**
      * Advance one core clock cycle, skipping quiescent channels on a
@@ -72,27 +73,34 @@ class DramSystem
      * No channel can act at the next core cycle (the clock-domain
      * analogue of the component quiescent() predicates).
      */
-    bool quiescent() const { return nextEventAt() > now_ + 1; }
+    bool quiescent() const override { return nextEventAt() > now_ + 1; }
 
     /**
      * Earliest *core* cycle any channel could act, translated from the
      * controller clock domain through the divider phase; kNeverCycle
      * when every channel is idle with no timers running.
      */
-    Cycle nextEventAt() const;
+    Cycle nextEventAt() const override;
 
     /**
      * Closed-form advance over @p n core cycles the caller has proven
      * quiescent: folds the divider phase forward and skips the covered
      * controller cycles in every channel.
      */
-    void skipCycles(Cycle n);
+    void skipCycles(Cycle n) override;
 
     /** This system's core-domain clock (in sync with System's). */
-    Cycle localNow() const { return now_; }
+    Cycle localNow() const override { return now_; }
 
     /** True when all channels are drained. */
     bool idle() const;
+
+    /** Component drain is the same predicate as idle(). */
+    bool drained() const override { return idle(); }
+
+    // Component introspection (system-wide aggregates; the channels
+    // register their own per-channel groups as children).
+    void registerStats(StatRegistry &reg) const override;
 
     MemoryController &channel(unsigned i) { return *channels_[i]; }
     const MemoryController &channel(unsigned i) const

@@ -10,6 +10,7 @@
 
 #include "common/types.hh"
 #include "mem/address_map.hh"
+#include "sim/port.hh"
 
 namespace dx::mem
 {
@@ -25,13 +26,12 @@ enum class Origin : std::uint8_t
 
 struct MemRequest;
 
-/** Receives completions for DRAM reads (and writes, when issued). */
-class MemRespSink
-{
-  public:
-    virtual ~MemRespSink() = default;
-    virtual void memResponse(const MemRequest &req) = 0;
-};
+/**
+ * Receives completions for DRAM reads (and writes, when issued) — the
+ * memory-domain instantiation of the unified completion interface
+ * (sim/port.hh).
+ */
+using MemRespSink = Completion<MemRequest>;
 
 /** One line-granularity DRAM request. */
 struct MemRequest

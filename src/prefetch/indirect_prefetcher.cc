@@ -2,13 +2,15 @@
 
 #include <cstdlib>
 
+#include "sim/stat_registry.hh"
+
 namespace dx::prefetch
 {
 
 IndirectPrefetcher::IndirectPrefetcher(const Config &cfg,
                                        const SimMemory *mem)
-    : cfg_(cfg), mem_(mem), streams_(cfg.streamTableSize),
-      patterns_(cfg.patternTableSize)
+    : Component("dmp"), cfg_(cfg), mem_(mem),
+      streams_(cfg.streamTableSize), patterns_(cfg.patternTableSize)
 {
 }
 
@@ -166,6 +168,15 @@ IndirectPrefetcher::nextPrefetch(Addr &line)
     line = queue_.front();
     queue_.pop_front();
     return true;
+}
+
+void
+IndirectPrefetcher::registerStats(StatRegistry &reg) const
+{
+    auto g = reg.group(path());
+    g.value("patternsLearned", stats_.patternsLearned);
+    g.value("indirectPrefetches", stats_.indirectPrefetches);
+    g.value("streamPrefetches", stats_.streamPrefetches);
 }
 
 } // namespace dx::prefetch

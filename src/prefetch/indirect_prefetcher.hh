@@ -27,11 +27,13 @@
 
 #include "cache/prefetcher.hh"
 #include "common/sim_memory.hh"
+#include "sim/component.hh"
 
 namespace dx::prefetch
 {
 
-class IndirectPrefetcher : public cache::Prefetcher
+class IndirectPrefetcher final : public Component,
+                                 public cache::Prefetcher
 {
   public:
     struct Config
@@ -57,6 +59,9 @@ class IndirectPrefetcher : public cache::Prefetcher
     void observe(const cache::CacheReq &req, bool miss) override;
     bool nextPrefetch(Addr &line) override;
     bool pending() const override { return !queue_.empty(); }
+
+    // Component introspection (passive component: no tick contract).
+    void registerStats(StatRegistry &reg) const override;
 
     const Stats &stats() const { return stats_; }
 

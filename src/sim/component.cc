@@ -1,0 +1,47 @@
+#include "sim/component.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/stat_registry.hh"
+
+namespace dx
+{
+
+Component::Component(std::string name) : name_(std::move(name)) {}
+
+void
+Component::adopt(Component &child)
+{
+    dx_assert(child.parent_ == nullptr,
+              "component ", child.name_, " already has a parent");
+    dx_assert(&child != this, "component cannot adopt itself");
+    child.parent_ = this;
+    children_.push_back(&child);
+}
+
+void
+Component::rename(std::string name)
+{
+    dx_assert(parent_ == nullptr,
+              "cannot rename ", name_, " after adoption");
+    name_ = std::move(name);
+}
+
+std::string
+Component::path() const
+{
+    if (parent_ == nullptr)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+registerTreeStats(const Component &root, StatRegistry &reg)
+{
+    forEachComponent(root, [&](const Component &c) {
+        c.registerStats(reg);
+    });
+}
+
+} // namespace dx

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Component: the common base of everything the simulator instantiates.
+ *
+ * A component has a name, a position in the ownership tree (parent /
+ * children, dotted path like "system.core0.l1d"), the tick/quiescence
+ * scheduling contract (see DESIGN.md §4c and §5) folded in as virtuals,
+ * and two introspection hooks: registerStats() publishes its counters
+ * under its path into a StatRegistry, portRefs() reports its request
+ * port slots for the connectivity audit.
+ *
+ * The virtuals exist for generic traversal — stat registration, the
+ * topology tests, debugging. The System scheduler keeps calling the
+ * contract through concrete types (every migrated class is `final`), so
+ * the memoized inline fast paths stay statically dispatched and the
+ * naive-vs-scheduled bit-identity and performance are unchanged.
+ */
+
+#ifndef DX_SIM_COMPONENT_HH
+#define DX_SIM_COMPONENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dx
+{
+
+class StatRegistry;
+
+/** One request-port slot of a component, for the connectivity audit. */
+struct PortRef
+{
+    const char *name;
+    bool bound;
+};
+
+class Component
+{
+  public:
+    explicit Component(std::string name);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+    Component *parent() const { return parent_; }
+    const std::vector<Component *> &children() const { return children_; }
+
+    /**
+     * Attach @p child beneath this component in the naming tree.
+     * Ownership stays with the caller (the topology holds the
+     * unique_ptrs); the tree only describes structure.
+     */
+    void adopt(Component &child);
+
+    /** Rename before adoption (multi-instance disambiguation). */
+    void rename(std::string name);
+
+    /** Dotted path from the root, e.g. "system.core0.l1d". */
+    std::string path() const;
+
+    // ---- tick/quiescence contract (DESIGN.md §4c) ----------------------
+    //
+    // Passive components (never ticked — e.g. a prefetcher that acts
+    // inside its cache's tick) inherit the no-op defaults; every ticked
+    // component overrides the full set.
+
+    /** Advance one local-clock cycle. */
+    virtual void tick() {}
+
+    /**
+     * tick() this cycle would change nothing but the closed-form
+     * per-cycle stats; see each component's override for its memo.
+     */
+    virtual bool quiescent() const { return true; }
+
+    /**
+     * Earliest cycle tick() could act again without external stimulus;
+     * kNeverCycle when only external stimulus can wake the component.
+     * Only meaningful while quiescent().
+     */
+    virtual Cycle nextEventAt() const { return kNeverCycle; }
+
+    /**
+     * Closed-form advance over @p n cycles the caller has proven
+     * quiescent, accumulating exactly the stats the naive per-cycle
+     * loop would have.
+     */
+    virtual void skipCycles(Cycle n) { (void)n; }
+
+    /** This component's clock (kept in sync with the System clock). */
+    virtual Cycle localNow() const { return 0; }
+
+    /** Nothing in flight: the termination-side twin of quiescent(). */
+    virtual bool drained() const { return true; }
+
+    // ---- introspection -------------------------------------------------
+
+    /** Publish counters/gauges under path() into @p reg. */
+    virtual void registerStats(StatRegistry &reg) const { (void)reg; }
+
+    /** This component's request-port slots (name, bound). */
+    virtual std::vector<PortRef> portRefs() const { return {}; }
+
+  private:
+    std::string name_;
+    Component *parent_ = nullptr;
+    std::vector<Component *> children_;
+};
+
+/**
+ * Depth-first pre-order traversal of the component tree rooted at
+ * @p root, invoking f(const Component &) on every node.
+ */
+template <typename F>
+void
+forEachComponent(const Component &root, F &&f)
+{
+    f(root);
+    for (const Component *c : root.children())
+        forEachComponent(*c, f);
+}
+
+/** registerStats() over the whole tree (used by System's constructor). */
+void registerTreeStats(const Component &root, StatRegistry &reg);
+
+} // namespace dx
+
+#endif // DX_SIM_COMPONENT_HH

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -209,6 +210,25 @@ storeCachedStats(const std::filesystem::path &p, const RunStats &s)
     }
 }
 
+namespace
+{
+
+/**
+ * DX_STATS_JSON=<path>: after a run finishes, dump the hierarchical
+ * per-component registry as nested JSON. Concurrent jobs write through
+ * unique temp files and atomic renames (the last completed run wins),
+ * so this works unchanged under --jobs=N.
+ */
+void
+maybeDumpStatsJson(const System &sys)
+{
+    const char *path = std::getenv("DX_STATS_JSON");
+    if (path && path[0] != '\0')
+        sys.statRegistry().writeJsonFile(path);
+}
+
+} // namespace
+
 RunStats
 runWorkloadOnce(wl::Workload &w, const SystemConfig &cfg)
 {
@@ -223,6 +243,7 @@ runWorkloadOnce(wl::Workload &w, const SystemConfig &cfg)
     const RunStats stats = sys.run();
     if (!w.verify(sys))
         dx_fatal("workload ", w.name(), " failed verification");
+    maybeDumpStatsJson(sys);
     return stats;
 }
 

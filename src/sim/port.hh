@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The unified port layer: every request/response link between
+ * components is an instantiation of the two templates below.
+ *
+ *  - RequestPort<Req> is the admission-gated request side. The cache
+ *    hierarchy's CachePort, the DRAM adapter, the range router and
+ *    DX100's scratchpad port are all RequestPort<cache::CacheReq>.
+ *  - Completion<Payload> is the response side. Cache fill callbacks
+ *    (Completion<std::uint64_t>, the requester-defined cookie) and
+ *    DRAM completions (Completion<mem::MemRequest>) are the two
+ *    instantiations; there is deliberately no third.
+ *  - SnoopPort is the residency/invalidation interface DX100's
+ *    coherency agent uses against the (inclusive) cache hierarchy.
+ *  - PortSlot<Req> is the wiring end: a named, bind-exactly-once
+ *    holder components expose through Component::portRefs() so the
+ *    topology tests can audit connectivity.
+ *
+ * Domain-specific names (cache::CachePort, cache::CacheRespSink,
+ * mem::MemRespSink) survive as thin aliases of these templates.
+ */
+
+#ifndef DX_SIM_PORT_HH
+#define DX_SIM_PORT_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dx
+{
+
+/** popCount() value for ports that do not track departures. */
+inline constexpr std::uint64_t kPortPopsUnknown = ~std::uint64_t{0};
+
+/** Receives typed completions (the response half of every link). */
+template <typename Payload>
+class Completion
+{
+  public:
+    virtual ~Completion() = default;
+    virtual void complete(const Payload &p) = 0;
+};
+
+/** Anything a component can send typed requests to. */
+template <typename Req>
+class RequestPort
+{
+  public:
+    virtual ~RequestPort() = default;
+    virtual bool canAccept() const = 0;
+
+    /**
+     * Monotonic count of departures from whatever resource gates
+     * admission here (queue pops, command issues). Arrivals never free
+     * space, so a waiter that found the port full may cache that
+     * verdict and re-probe only when the count moves instead of every
+     * cycle — the scheduler's cheap alternative to per-cycle polling.
+     * Ports that do not track departures return kPortPopsUnknown,
+     * which waiters must treat as "never cache".
+     */
+    virtual std::uint64_t popCount() const { return kPortPopsUnknown; }
+
+    /**
+     * Stable address of the counter popCount() reads, for waiters that
+     * probe it every cycle (the quiescence fast paths): one load
+     * instead of a virtual call. Null when the count is aggregated or
+     * untracked — callers must then fall back to popCount(). The
+     * address must stay valid and live-updating for the port's
+     * lifetime.
+     */
+    virtual const std::uint64_t *popCountAddr() const { return nullptr; }
+
+    /**
+     * Request-specific admission: ports that multiplex resources by
+     * address (the DRAM adapter's per-channel queues) override this so
+     * one busy resource does not starve traffic headed elsewhere.
+     */
+    virtual bool
+    canAcceptReq(const Req &req) const
+    {
+        (void)req;
+        return canAccept();
+    }
+
+    virtual void request(const Req &req) = 0;
+};
+
+/**
+ * Residency snoops and invalidations against a cache level. The LLC is
+ * the inclusive root, so snooping it answers "cached anywhere?" for
+ * DX100's H bit (§3.6).
+ */
+class SnoopPort
+{
+  public:
+    virtual ~SnoopPort() = default;
+
+    /** Line present (or being filled) at this level? */
+    virtual bool containsLine(Addr line) const = 0;
+
+    /** Drop a line if present; returns true if it was dirty. */
+    virtual bool invalidateLine(Addr line) = 0;
+};
+
+/**
+ * A named request-port binding owned by the client component.
+ * bind() must be called at most once — double wiring is a topology
+ * bug — and Component::portRefs() reports (name, bound) so the
+ * connectivity audit can prove every slot was wired exactly once.
+ */
+template <typename Req>
+class PortSlot
+{
+  public:
+    explicit PortSlot(const char *name) : name_(name) {}
+
+    void
+    bind(RequestPort<Req> &port)
+    {
+        dx_assert(port_ == nullptr,
+                  "port slot ", name_, " already bound");
+        port_ = &port;
+    }
+
+    bool bound() const { return port_ != nullptr; }
+    const char *name() const { return name_; }
+
+    /** Raw access; never null-checked on the hot path. */
+    RequestPort<Req> *operator->() const { return port_; }
+    RequestPort<Req> *get() const { return port_; }
+    explicit operator bool() const { return port_ != nullptr; }
+
+  private:
+    const char *name_;
+    RequestPort<Req> *port_ = nullptr;
+};
+
+} // namespace dx
+
+#endif // DX_SIM_PORT_HH

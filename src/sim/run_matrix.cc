@@ -137,6 +137,9 @@ RunMatrix &
 RunMatrix::addConfig(std::string tag, const SystemConfig &cfg,
                      double scaleMult)
 {
+    // Fail the whole bench up front on a bad configuration, before
+    // any job starts: one actionable message beats N worker deaths.
+    cfg.validate();
     configs_.push_back({std::move(tag), cfg, scaleMult});
     return *this;
 }

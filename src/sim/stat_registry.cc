@@ -1,0 +1,232 @@
+#include "sim/stat_registry.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dx
+{
+
+namespace
+{
+
+/**
+ * Tree view of the dotted paths, preserving registration order within
+ * each group. A name is either a group or a leaf, never both —
+ * registering "a.b" and "a.b.c" is a naming bug.
+ */
+struct JsonNode
+{
+    std::vector<std::pair<std::string, JsonNode>> children;
+    bool isLeaf = false;
+    std::size_t entryIndex = 0;
+
+    JsonNode &
+    child(const std::string &name)
+    {
+        for (auto &kv : children) {
+            if (kv.first == name)
+                return kv.second;
+        }
+        children.emplace_back(name, JsonNode{});
+        return children.back().second;
+    }
+};
+
+} // namespace
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return index_.count(path) > 0;
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first);
+    return out;
+}
+
+const StatRegistry::Entry &
+StatRegistry::find(const std::string &path) const
+{
+    const auto it = index_.find(path);
+    if (it == index_.end())
+        dx_fatal("unknown stat path ", path);
+    return entries_[it->second].second;
+}
+
+std::uint64_t
+StatRegistry::intValue(const std::string &path) const
+{
+    const Entry &e = find(path);
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        return e.counter->value();
+      case Entry::Kind::kUint:
+        return *e.uintPtr;
+      case Entry::Kind::kUintFn:
+        return e.uintFn();
+      case Entry::Kind::kGauge:
+        break;
+    }
+    dx_fatal("stat ", path, " is a gauge; use value()");
+    return 0;
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    const Entry &e = find(path);
+    if (e.kind == Entry::Kind::kGauge)
+        return e.gauge();
+    return static_cast<double>(intValue(path));
+}
+
+void
+StatRegistry::addCounter(std::string path, const Counter *c)
+{
+    Entry e;
+    e.kind = Entry::Kind::kCounter;
+    e.counter = c;
+    addEntry(std::move(path), std::move(e));
+}
+
+void
+StatRegistry::addUint(std::string path, const std::uint64_t *v)
+{
+    Entry e;
+    e.kind = Entry::Kind::kUint;
+    e.uintPtr = v;
+    addEntry(std::move(path), std::move(e));
+}
+
+void
+StatRegistry::addUintFn(std::string path,
+                        std::function<std::uint64_t()> f)
+{
+    Entry e;
+    e.kind = Entry::Kind::kUintFn;
+    e.uintFn = std::move(f);
+    addEntry(std::move(path), std::move(e));
+}
+
+void
+StatRegistry::addGauge(std::string path, std::function<double()> f)
+{
+    Entry e;
+    e.kind = Entry::Kind::kGauge;
+    e.gauge = std::move(f);
+    addEntry(std::move(path), std::move(e));
+}
+
+void
+StatRegistry::addEntry(std::string path, Entry e)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        dx_fatal("malformed stat path '", path, "'");
+    if (index_.count(path))
+        dx_fatal("duplicate stat path ", path);
+    index_.emplace(path, entries_.size());
+    entries_.emplace_back(std::move(path), std::move(e));
+}
+
+std::string
+StatRegistry::toJson() const
+{
+    // Group the flat registration order into a tree.
+    JsonNode root;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const std::string &path = entries_[i].first;
+        JsonNode *node = &root;
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t dot = path.find('.', start);
+            const std::string seg =
+                path.substr(start, dot == std::string::npos
+                                       ? std::string::npos
+                                       : dot - start);
+            node = &node->child(seg);
+            if (node->isLeaf)
+                dx_fatal("stat path ", path,
+                         " nests under a leaf entry");
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        if (!node->children.empty())
+            dx_fatal("stat path ", path, " is both a leaf and a group");
+        node->isLeaf = true;
+        node->entryIndex = i;
+    }
+
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+
+    const auto emit = [&](const JsonNode &node, unsigned depth,
+                          const auto &self) -> void {
+        os << "{\n";
+        const std::string pad((depth + 1) * 2, ' ');
+        bool first = true;
+        for (const auto &kv : node.children) {
+            os << (first ? "" : ",\n") << pad << "\"" << kv.first
+               << "\": ";
+            first = false;
+            if (kv.second.isLeaf) {
+                const Entry &e = entries_[kv.second.entryIndex].second;
+                if (e.kind == Entry::Kind::kGauge)
+                    os << e.gauge();
+                else
+                    os << intValue(entries_[kv.second.entryIndex].first);
+            } else {
+                self(kv.second, depth + 1, self);
+            }
+        }
+        os << "\n" << std::string(depth * 2, ' ') << "}";
+    };
+    emit(root, 0, emit);
+    os << "\n";
+    return os.str();
+}
+
+void
+StatRegistry::writeJsonFile(const std::string &file) const
+{
+    // Unique temp name per write: parallel bench jobs may share one
+    // DX_STATS_JSON target, and a torn file is worse than a lost race.
+    static std::atomic<std::uint64_t> serial{0};
+    const std::filesystem::path target(file);
+    std::filesystem::path tmp = target;
+    tmp += ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(serial.fetch_add(1));
+
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            dx_warn("cannot write stats JSON to ", tmp.string());
+            return;
+        }
+        out << toJson();
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, target, ec);
+    if (ec) {
+        dx_warn("cannot rename ", tmp.string(), " to ", file, ": ",
+                ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace dx

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Components register named counters and derived gauges under their
+ * dotted component path ("system.core0.committedOps",
+ * "system.dram.ch0.rowHits"). The registry stores typed references to
+ * the live objects, so reads always observe current values:
+ *
+ *  - counter / value entries reference a Counter or std::uint64_t and
+ *    read back exactly (intValue());
+ *  - derived entries wrap a std::function and reproduce the exact
+ *    arithmetic of the component's own accessor, which is what lets
+ *    System::collectStats() become a pure projection of the registry
+ *    with bit-identical RunStats output.
+ *
+ * Paths are unique (registration fatals on a duplicate) and the whole
+ * registry renders as nested JSON — split on '.' — for the
+ * DX_STATS_JSON=<path> dump every bench supports.
+ */
+
+#ifndef DX_SIM_STAT_REGISTRY_HH
+#define DX_SIM_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace dx
+{
+
+class StatRegistry
+{
+  public:
+    /**
+     * Registration handle scoped to one path prefix; sub() descends.
+     * Components create one with group(path()) and add leaf names.
+     */
+    class Group
+    {
+      public:
+        /** A monotonic event counter (read back exactly). */
+        void
+        counter(const char *name, const Counter &c)
+        {
+            reg_->addCounter(join(name), &c);
+        }
+
+        /** A raw integral stat (read back exactly). */
+        void
+        value(const char *name, const std::uint64_t &v)
+        {
+            reg_->addUint(join(name), &v);
+        }
+
+        /** A derived integral stat (computed on read). */
+        void
+        value(const char *name, std::function<std::uint64_t()> f)
+        {
+            reg_->addUintFn(join(name), std::move(f));
+        }
+
+        /** A derived floating-point stat (computed on read). */
+        void
+        gauge(const char *name, std::function<double()> f)
+        {
+            reg_->addGauge(join(name), std::move(f));
+        }
+
+        Group sub(const char *name) const { return {reg_, join(name)}; }
+
+      private:
+        friend class StatRegistry;
+        Group(StatRegistry *reg, std::string prefix)
+            : reg_(reg), prefix_(std::move(prefix))
+        {
+        }
+
+        std::string
+        join(const char *name) const
+        {
+            return prefix_.empty() ? std::string(name)
+                                   : prefix_ + "." + name;
+        }
+
+        StatRegistry *reg_;
+        std::string prefix_;
+    };
+
+    Group group(const std::string &prefix) { return {this, prefix}; }
+
+    bool has(const std::string &path) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Every registered path, in registration order. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Exact integral read of a counter/value entry; fatal for derived
+     * floating-point entries or unknown paths (the RunStats projection
+     * must never silently round-trip through double).
+     */
+    std::uint64_t intValue(const std::string &path) const;
+
+    /** Numeric read of any entry (integrals widen to double). */
+    double value(const std::string &path) const;
+
+    /** Render the registry as nested JSON (split paths on '.'). */
+    std::string toJson() const;
+
+    /**
+     * Write toJson() to @p file via a unique temp file and an atomic
+     * rename, so concurrent writers (parallel bench jobs sharing one
+     * DX_STATS_JSON target) never interleave; the last completed run
+     * wins.
+     */
+    void writeJsonFile(const std::string &file) const;
+
+  private:
+    struct Entry
+    {
+        enum class Kind : std::uint8_t
+        {
+            kCounter,
+            kUint,
+            kUintFn,
+            kGauge,
+        };
+
+        Kind kind;
+        const Counter *counter = nullptr;
+        const std::uint64_t *uintPtr = nullptr;
+        std::function<std::uint64_t()> uintFn;
+        std::function<double()> gauge;
+    };
+
+    void addCounter(std::string path, const Counter *c);
+    void addUint(std::string path, const std::uint64_t *v);
+    void addUintFn(std::string path, std::function<std::uint64_t()> f);
+    void addGauge(std::string path, std::function<double()> f);
+    void addEntry(std::string path, Entry e);
+    const Entry &find(const std::string &path) const;
+
+    std::vector<std::pair<std::string, Entry>> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace dx
+
+#endif // DX_SIM_STAT_REGISTRY_HH

@@ -6,9 +6,82 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/topology.hh"
 
 namespace dx::sim
 {
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+void
+validateCacheGeometry(const char *label, const cache::Cache::Config &c)
+{
+    if (c.assoc == 0 || c.sizeBytes == 0)
+        dx_fatal("SystemConfig: ", label, " needs a non-zero size and "
+                 "associativity (got sizeBytes=", c.sizeBytes,
+                 ", assoc=", c.assoc, ")");
+    const std::uint64_t waySpan =
+        std::uint64_t{c.assoc} * kLineBytes;
+    if (c.sizeBytes % waySpan != 0)
+        dx_fatal("SystemConfig: ", label, " sizeBytes=", c.sizeBytes,
+                 " is not a multiple of assoc*lineBytes=", waySpan,
+                 "; pick a size divisible by ", waySpan);
+    const std::uint64_t sets = c.sizeBytes / waySpan;
+    if (!isPowerOfTwo(sets))
+        dx_fatal("SystemConfig: ", label, " geometry gives ", sets,
+                 " sets, which is not a power of two; adjust sizeBytes"
+                 " (", c.sizeBytes, ") or assoc (", c.assoc,
+                 ") so sizeBytes / (assoc * ", kLineBytes,
+                 ") is a power of two");
+    if (c.mshrs == 0 || c.queueSize == 0 || c.width == 0)
+        dx_fatal("SystemConfig: ", label, " needs non-zero mshrs/"
+                 "queueSize/width (got ", c.mshrs, "/", c.queueSize,
+                 "/", c.width, ")");
+}
+
+} // namespace
+
+void
+SystemConfig::validate() const
+{
+    if (cores == 0)
+        dx_fatal("SystemConfig: cores must be at least 1 — a system "
+                 "with no cores has nothing to run");
+    if (core.width == 0 || core.robSize == 0 || core.lqSize == 0 ||
+        core.sqSize == 0)
+        dx_fatal("SystemConfig: core structures must be non-zero "
+                 "(width=", core.width, ", robSize=", core.robSize,
+                 ", lqSize=", core.lqSize, ", sqSize=", core.sqSize,
+                 ")");
+    validateCacheGeometry("l1", l1);
+    validateCacheGeometry("l2", l2);
+    validateCacheGeometry("llc", llc);
+    if (dx100Instances > 0 && dmp)
+        dx_fatal("SystemConfig: dx100Instances=", dx100Instances,
+                 " conflicts with dmp=true — the DMP indirect "
+                 "prefetcher models the comparison baseline and the "
+                 "two would fight over the same access stream; enable "
+                 "the accelerator or the prefetcher, not both");
+    if (dx100Instances > cores)
+        dx_fatal("SystemConfig: dx100Instances=", dx100Instances,
+                 " exceeds cores=", cores, " — each instance must "
+                 "serve at least one core");
+    if (!isPowerOfTwo(dram.ctrl.geom.channels))
+        dx_fatal("SystemConfig: dram channels=",
+                 dram.ctrl.geom.channels,
+                 " must be a non-zero power of two (the address map "
+                 "selects the channel with low line-address bits)");
+    if (dram.clockRatio == 0)
+        dx_fatal("SystemConfig: dram.clockRatio must be at least 1 "
+                 "(core cycles per controller cycle)");
+}
 
 SystemConfig::SystemConfig()
 {
@@ -156,84 +229,24 @@ System::liveSystems()
 }
 
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg), naiveTick_(resolveNaiveTick(cfg.tickPolicy))
+    : Component("system"), cfg_(cfg),
+      naiveTick_(resolveNaiveTick(cfg.tickPolicy))
 {
-    dx_assert(cfg_.cores > 0, "a System needs at least one core");
     gLiveSystems.fetch_add(1, std::memory_order_relaxed);
-    dram_ = std::make_unique<mem::DramSystem>(cfg_.dram);
-    dramPort_ = std::make_unique<cache::DramPort>(*dram_);
-    router_ = std::make_unique<cache::RangeRouter>(*dramPort_);
-    llc_ = std::make_unique<cache::Cache>(cfg_.llc, router_.get());
 
-    for (unsigned i = 0; i < cfg_.cores; ++i) {
-        cache::Cache::Config l2c = cfg_.l2;
-        l2c.name = "L2." + std::to_string(i);
-        l2s_.push_back(std::make_unique<cache::Cache>(l2c, llc_.get()));
-        cache::Cache::Config l1c = cfg_.l1;
-        l1c.name = "L1D." + std::to_string(i);
-        l1s_.push_back(
-            std::make_unique<cache::Cache>(l1c, l2s_.back().get()));
-        llc_->addChild(l1s_.back().get());
-        llc_->addChild(l2s_.back().get());
-
-        if (cfg_.stridePrefetchers) {
-            // DMP needs the full-resolution access stream (per-element
-            // pcs and values), so it replaces the L1 prefetcher; the
-            // L2 stride prefetcher stays in both configurations.
-            l1s_.back()->setPrefetcher(
-                cfg_.dmp ? std::unique_ptr<cache::Prefetcher>(
-                               std::make_unique<
-                                   prefetch::IndirectPrefetcher>(
-                                   cfg_.dmpCfg, &mem_))
-                         : std::unique_ptr<cache::Prefetcher>(
-                               std::make_unique<
-                                   cache::StridePrefetcher>()));
-            l2s_.back()->setPrefetcher(
-                std::make_unique<cache::StridePrefetcher>());
-        }
-
-        cores_.push_back(
-            std::make_unique<cpu::Core>(cfg_.core, static_cast<int>(i),
-                                        l1s_.back().get()));
-    }
-
-    // DX100 instances: cores are multiplexed contiguously.
-    for (unsigned inst = 0; inst < cfg_.dx100Instances; ++inst) {
-        dx100::Dx100Config dxc = cfg_.dx;
-        // Give each instance disjoint MMIO/SPD windows.
-        dxc.mmioBase = cfg_.dx.mmioBase + (Addr{inst} << 28);
-        dxc.spdBase = cfg_.dx.spdBase + (Addr{inst} << 28);
-
-        dx100::CoherencyAgent agent;
-        agent.setLlc(llc_.get());
-        agent.addCache(llc_.get());
-        for (auto &c : l1s_)
-            agent.addCache(c.get());
-        for (auto &c : l2s_)
-            agent.addCache(c.get());
-
-        dxs_.push_back(std::make_unique<dx100::Dx100>(
-            dxc, *dram_, llc_.get(), agent, cfg_.cores));
-        router_->addRange(dxc.spdBase, dxc.spdSize(),
-                          &dxs_.back()->spdPort());
-        runtimes_.push_back(std::make_unique<runtime::Dx100Runtime>(
-            *dxs_.back(), mem_));
-    }
-
-    // Multiple instances uphold the Single-Writer invariant through a
-    // coarse-grained region directory (§6.6).
-    if (dxs_.size() > 1) {
-        regionDir_ = std::make_unique<dx100::RegionDirectory>();
-        for (unsigned inst = 0; inst < dxs_.size(); ++inst) {
-            dxs_[inst]->setRegionDirectory(regionDir_.get(),
-                                           static_cast<int>(inst));
-        }
-    }
-
-    for (unsigned i = 0; i < cfg_.cores; ++i) {
-        if (auto *dev = dx100For(i))
-            cores_[i]->setMmioDevice(dev);
-    }
+    // All structural wiring lives in the builder; the System just
+    // takes ownership of the finished topology.
+    Topology t = TopologyBuilder(cfg_, mem_).build(*this);
+    dram_ = std::move(t.dram);
+    dramPort_ = std::move(t.dramPort);
+    router_ = std::move(t.router);
+    llc_ = std::move(t.llc);
+    l2s_ = std::move(t.l2s);
+    l1s_ = std::move(t.l1s);
+    cores_ = std::move(t.cores);
+    dxs_ = std::move(t.dxs);
+    runtimes_ = std::move(t.runtimes);
+    regionDir_ = std::move(t.regionDir);
 
     // Parallel-safety invariant: every component this System ticks is
     // owned by this instance (no component registry, no global memory
@@ -244,6 +257,10 @@ System::System(const SystemConfig &cfg)
               "System must own one L1/L2/core per configured core");
     dx_assert(dxs_.size() == cfg_.dx100Instances,
               "System must own every configured DX100 instance");
+
+    // Publish every component's counters under its tree path. Entries
+    // reference live objects, so this happens once, up front.
+    registerTreeStats(*this, statReg_);
 }
 
 System::~System()
@@ -454,31 +471,47 @@ System::run(Cycle maxCycles)
     return s;
 }
 
+void
+System::registerStats(StatRegistry &reg) const
+{
+    reg.group(path()).value("cycles", now_);
+}
+
 RunStats
 System::collectStats() const
 {
+    // Pure projection of the hierarchical registry onto the flat
+    // schema. Integral stats use the exact intValue() read; derived
+    // ratios read the registered gauge, which wraps the component's
+    // own accessor — the arithmetic is bit-identical to reading the
+    // component directly.
+    const StatRegistry &r = statReg_;
     RunStats s;
-    s.cycles = now_;
+    s.cycles = r.intValue(path() + ".cycles");
     for (const auto &c : cores_)
-        s.instructions += c->stats().committedOps.value();
+        s.instructions += r.intValue(c->path() + ".committedOps");
     s.ipc = now_ ? static_cast<double>(s.instructions) / now_ : 0.0;
-    s.bandwidthUtil = dram_->busUtilization();
-    s.rowBufferHitRate = dram_->rowHitRate();
-    s.requestBufferOccupancy = dram_->queueOccupancy();
-    s.dramLines = dram_->linesTransferred();
+    s.bandwidthUtil = r.value(dram_->path() + ".busUtilization");
+    s.rowBufferHitRate = r.value(dram_->path() + ".rowHitRate");
+    s.requestBufferOccupancy =
+        r.value(dram_->path() + ".queueOccupancy");
+    s.dramLines = r.intValue(dram_->path() + ".linesTransferred");
 
     const double kilo = s.instructions / 1000.0;
     if (kilo > 0) {
-        s.llcMpki = llc_->stats().demandMisses.value() / kilo;
+        s.llcMpki =
+            r.intValue(llc_->path() + ".demandMisses") / kilo;
         std::uint64_t l2m = 0;
         for (const auto &c : l2s_)
-            l2m += c->stats().demandMisses.value();
+            l2m += r.intValue(c->path() + ".demandMisses");
         s.l2Mpki = l2m / kilo;
     }
 
     for (const auto &d : dxs_) {
-        s.dxInstructions += d->stats().instructionsRetired.value();
-        s.coalescingFactor = d->stats().coalescingFactor();
+        s.dxInstructions +=
+            r.intValue(d->path() + ".instructionsRetired");
+        s.coalescingFactor =
+            r.value(d->path() + ".rowtable.coalescingFactor");
     }
     return s;
 }

@@ -23,6 +23,8 @@
 #include "mem/dram_system.hh"
 #include "prefetch/indirect_prefetcher.hh"
 #include "runtime/dx100_api.hh"
+#include "sim/component.hh"
+#include "sim/stat_registry.hh"
 
 namespace dx::sim
 {
@@ -67,6 +69,17 @@ struct SystemConfig
     TickPolicy tickPolicy = TickPolicy::kAuto;
 
     SystemConfig();
+
+    /**
+     * Check the configuration for the mistakes a wrong experiment
+     * script actually makes, with actionable messages: zero cores,
+     * cache geometries whose set count is not a power of two,
+     * accelerator-vs-DMP conflicts, zero-width core structures,
+     * non-power-of-two channel counts. dx_fatal on the first problem
+     * found. Called by System's constructor (via TopologyBuilder) and
+     * by RunMatrix::addConfig, so every bench validates up front.
+     */
+    void validate() const;
 
     /** Baseline (Table 3): 10 MB LLC, no accelerator. */
     static SystemConfig baseline(unsigned cores = 4);
@@ -148,11 +161,11 @@ struct RunStats
     std::string toString() const;
 };
 
-class System
+class System final : public Component
 {
   public:
     explicit System(const SystemConfig &cfg);
-    ~System();
+    ~System() override;
 
     SimMemory &memory() { return mem_; }
     SimAllocator &allocator() { return alloc_; }
@@ -180,7 +193,7 @@ class System
     void warmLlc(Addr base, Addr size);
 
     /** Tick every component once (the naive reference scheduler). */
-    void tick();
+    void tick() override;
 
     /**
      * Advance one cycle, replacing each provably no-op component tick
@@ -218,7 +231,7 @@ class System
      * prefetcher queues, so a run cannot terminate with requests or
      * prefetch candidates still in flight.
      */
-    bool drained() const;
+    bool drained() const override;
 
     /** True when run() uses the naive scheduler (policy + env). */
     bool naiveTick() const { return naiveTick_; }
@@ -226,11 +239,33 @@ class System
     /** Current global cycle. */
     Cycle now() const { return now_; }
 
+    // Component contract for the root: the whole-system predicates are
+    // the aggregates the run loop already computes.
+    bool quiescent() const override { return quiescentHorizon() != 0; }
+    Cycle nextEventAt() const override { return quiescentHorizon(); }
+    void skipCycles(Cycle n) override { skipTo(now_ + n); }
+    Cycle localNow() const override { return now_; }
+    void registerStats(StatRegistry &reg) const override;
+
     /** Run until all cores are done and the memory system drains. */
     RunStats run(Cycle maxCycles = Cycle{4} << 30);
 
-    /** Collect statistics without running further. */
+    /**
+     * Collect statistics without running further: a pure projection of
+     * the hierarchical registry onto the flat RunStats schema.
+     */
     RunStats collectStats() const;
+
+    /**
+     * The hierarchical per-component statistics, keyed by dotted
+     * component path ("system.core0.l1d.demandMisses"). Built once in
+     * the constructor from the component tree; entries reference the
+     * live counters, so reads always observe current values. Dump as
+     * nested JSON with statRegistry().writeJsonFile(...) — every bench
+     * does when DX_STATS_JSON=<path> is set.
+     */
+    StatRegistry &statRegistry() { return statReg_; }
+    const StatRegistry &statRegistry() const { return statReg_; }
 
     const SystemConfig &config() const { return cfg_; }
 
@@ -262,6 +297,7 @@ class System
     std::vector<std::unique_ptr<runtime::Dx100Runtime>> runtimes_;
     std::unique_ptr<dx100::RegionDirectory> regionDir_;
 
+    StatRegistry statReg_;
     Cycle now_ = 0;
 };
 

@@ -24,7 +24,7 @@ struct TestSink : public CacheRespSink
     Cycle *clock = nullptr;
 
     void
-    cacheResponse(std::uint64_t tag) override
+    complete(const std::uint64_t &tag) override
     {
         done.push_back({tag, clock ? *clock : 0});
     }
@@ -95,8 +95,8 @@ struct Rig
         req.pc = pc;
         req.tag = tag;
         req.sink = &sink;
-        ASSERT_TRUE(cache.portCanAccept());
-        cache.portRequest(req);
+        ASSERT_TRUE(cache.canAccept());
+        cache.request(req);
     }
 
     void
@@ -213,7 +213,7 @@ TEST(Cache, FullLineWriteAllocatesWithoutFetch)
     req.origin = mem::Origin::kWriteback;
     req.tag = 1;
     req.sink = &rig.sink;
-    rig.cache.portRequest(req);
+    rig.cache.request(req);
     rig.step(10);
 
     EXPECT_TRUE(rig.sink.has(1));
@@ -291,7 +291,7 @@ TEST(Cache, InclusiveRootBackInvalidatesChildren)
         req.addr = Addr(i) * kLineBytes;
         req.tag = static_cast<std::uint64_t>(i);
         req.sink = &sink;
-        l1.portRequest(req);
+        l1.request(req);
         step(400);
     }
 
@@ -362,8 +362,8 @@ TEST(RangeRouter, RoutesByAddressRange)
     struct StubPort : public CachePort
     {
         int count = 0;
-        bool portCanAccept() const override { return true; }
-        void portRequest(const CacheReq &) override { ++count; }
+        bool canAccept() const override { return true; }
+        void request(const CacheReq &) override { ++count; }
     };
 
     StubPort dramStub, spdStub;
@@ -372,11 +372,11 @@ TEST(RangeRouter, RoutesByAddressRange)
 
     CacheReq req;
     req.addr = 0x10040;
-    router.portRequest(req);
+    router.request(req);
     req.addr = 0x20000;
-    router.portRequest(req);
+    router.request(req);
     req.addr = 0x10fff;
-    router.portRequest(req);
+    router.request(req);
 
     EXPECT_EQ(spdStub.count, 2);
     EXPECT_EQ(dramStub.count, 1);

@@ -43,18 +43,18 @@ missesFor(std::uint64_t cacheBytes, unsigned assoc,
     struct Sink : public CacheRespSink
     {
         std::uint64_t done = 0;
-        void cacheResponse(std::uint64_t) override { ++done; }
+        void complete(const std::uint64_t &) override { ++done; }
     } sink;
 
     Rng rng(seed);
     std::uint64_t issued = 0;
     while (sink.done < accesses) {
-        if (issued < accesses && cache.portCanAccept()) {
+        if (issued < accesses && cache.canAccept()) {
             CacheReq req;
             req.addr = lineAlign(rng.below(workingSet));
             req.tag = issued++;
             req.sink = &sink;
-            cache.portRequest(req);
+            cache.request(req);
         }
         cache.tick();
         dram.tick();
@@ -108,21 +108,21 @@ TEST(CacheProperties, DirtyEvictionsAllReachMemory)
     struct Sink : public CacheRespSink
     {
         std::uint64_t done = 0;
-        void cacheResponse(std::uint64_t) override { ++done; }
+        void complete(const std::uint64_t &) override { ++done; }
     } sink;
 
     auto pump = [&](Addr base, std::uint64_t lines, bool write) {
         std::uint64_t issued = 0;
         const std::uint64_t start = sink.done;
         while (sink.done < start + lines) {
-            if (issued < lines && cache.portCanAccept()) {
+            if (issued < lines && cache.canAccept()) {
                 CacheReq req;
                 req.addr = base + issued * kLineBytes;
                 req.write = write;
                 req.fullLine = write;
                 req.tag = issued++;
                 req.sink = &sink;
-                cache.portRequest(req);
+                cache.request(req);
             }
             cache.tick();
             dram.tick();
@@ -172,17 +172,17 @@ TEST(CacheProperties, InclusiveHierarchyNeverHoldsLineAboveLlc)
 
     struct Sink : public CacheRespSink
     {
-        void cacheResponse(std::uint64_t) override {}
+        void complete(const std::uint64_t &) override {}
     } sink;
 
     Rng rng(11);
     std::vector<Addr> touched;
     for (int step = 0; step < 20000; ++step) {
-        if (l1.portCanAccept() && rng.below(2)) {
+        if (l1.canAccept() && rng.below(2)) {
             CacheReq req;
             req.addr = lineAlign(rng.below(256 * 1024));
             req.sink = &sink;
-            l1.portRequest(req);
+            l1.request(req);
             touched.push_back(lineAlign(req.addr));
         }
         l1.tick();
@@ -193,10 +193,11 @@ TEST(CacheProperties, InclusiveHierarchyNeverHoldsLineAboveLlc)
             // Inclusion is a tag-store property: a line *installed*
             // in the L1 must be installed (or mid-fill) in the LLC.
             for (const Addr line : touched) {
-                if (l1.tagsHold(line))
+                if (l1.tagsHold(line)) {
                     EXPECT_TRUE(llc.containsLine(line))
                         << "inclusion violated for 0x" << std::hex
                         << line;
+                }
             }
         }
     }

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Component-tree and stat-registry tests: topology construction for
+ * the baseline / DX100 / DMP configurations, the port-connectivity
+ * audit (every request-port slot bound exactly once), stat-path
+ * uniqueness, SystemConfig::validate() misuse reporting, and a
+ * DX_STATS_JSON round trip (dump, reparse, compare every leaf against
+ * the live registry).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/component.hh"
+#include "sim/stat_registry.hh"
+#include "sim/system.hh"
+
+using namespace dx;
+using namespace dx::sim;
+
+namespace
+{
+
+const Component *
+childNamed(const Component &c, const std::string &name)
+{
+    for (const Component *ch : c.children()) {
+        if (ch->name() == name)
+            return ch;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+childNames(const Component &c)
+{
+    std::vector<std::string> names;
+    for (const Component *ch : c.children())
+        names.push_back(ch->name());
+    return names;
+}
+
+/**
+ * Minimal recursive-descent parser for the subset of JSON the registry
+ * emits: objects of objects with numeric leaves. Flattens to dotted
+ * (path, value) pairs in document order.
+ */
+struct FlatJson
+{
+    std::vector<std::pair<std::string, double>> leaves;
+};
+
+class MiniJsonParser
+{
+  public:
+    explicit MiniJsonParser(const std::string &text) : s_(text) {}
+
+    FlatJson
+    parse()
+    {
+        FlatJson out;
+        skipWs();
+        object("", out);
+        skipWs();
+        EXPECT_EQ(pos_, s_.size()) << "trailing bytes after document";
+        return out;
+    }
+
+  private:
+    void
+    object(const std::string &prefix, FlatJson &out)
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            const std::string key = stringLit();
+            skipWs();
+            expect(':');
+            skipWs();
+            const std::string path =
+                prefix.empty() ? key : prefix + "." + key;
+            if (peek() == '{') {
+                object(path, out);
+            } else {
+                out.leaves.emplace_back(path, number());
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    std::string
+    stringLit()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"')
+            out.push_back(s_[pos_++]);
+        ++pos_;
+        return out;
+    }
+
+    double
+    number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+        return std::strtod(s_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        ASSERT_EQ(peek(), c) << "at offset " << pos_;
+        ++pos_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+/** Every request-port slot in the tree must be bound. */
+void
+auditPorts(const Component &root)
+{
+    forEachComponent(root, [](const Component &c) {
+        for (const PortRef &p : c.portRefs()) {
+            EXPECT_TRUE(p.bound)
+                << c.path() << " port '" << p.name << "' unbound";
+        }
+    });
+}
+
+} // namespace
+
+TEST(ComponentTree, BaselineTopology)
+{
+    System sys(SystemConfig::baseline(2));
+    EXPECT_EQ(sys.name(), "system");
+    EXPECT_EQ(sys.path(), "system");
+
+    const std::vector<std::string> names = childNames(sys);
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"core0", "core1", "llc",
+                                        "dram"}));
+
+    EXPECT_EQ(sys.core(0).path(), "system.core0");
+    EXPECT_EQ(sys.l1(0).path(), "system.core0.l1d");
+    EXPECT_EQ(sys.l2(1).path(), "system.core1.l2");
+    EXPECT_EQ(sys.llc().path(), "system.llc");
+    EXPECT_EQ(sys.dram().path(), "system.dram");
+    EXPECT_EQ(sys.dram().channel(0).path(), "system.dram.ch0");
+    EXPECT_EQ(sys.dram().channel(1).path(), "system.dram.ch1");
+
+    // Baseline: no accelerator, no DMP under the L1s.
+    EXPECT_EQ(childNamed(sys, "dx100"), nullptr);
+    EXPECT_EQ(childNamed(sys.l1(0), "dmp"), nullptr);
+
+    auditPorts(sys);
+}
+
+TEST(ComponentTree, Dx100Topology)
+{
+    System sys(SystemConfig::withDx100(2));
+    ASSERT_NE(sys.dx100(0), nullptr);
+    EXPECT_EQ(sys.dx100(0)->path(), "system.dx100");
+    auditPorts(sys);
+}
+
+TEST(ComponentTree, MultiInstanceDx100Names)
+{
+    System sys(SystemConfig::withDx100(4, 2));
+    ASSERT_NE(sys.dx100(1), nullptr);
+    EXPECT_EQ(sys.dx100(0)->path(), "system.dx100_0");
+    EXPECT_EQ(sys.dx100(1)->path(), "system.dx100_1");
+    auditPorts(sys);
+}
+
+TEST(ComponentTree, DmpTopology)
+{
+    System sys(SystemConfig::withDmp(2));
+    const Component *dmp = childNamed(sys.l1(0), "dmp");
+    ASSERT_NE(dmp, nullptr);
+    EXPECT_EQ(dmp->path(), "system.core0.l1d.dmp");
+    auditPorts(sys);
+}
+
+TEST(ComponentTree, StatPathsUniqueAndComplete)
+{
+    System sys(SystemConfig::withDx100(2));
+    const auto paths = sys.statRegistry().paths();
+    const std::set<std::string> unique(paths.begin(), paths.end());
+    EXPECT_EQ(unique.size(), paths.size());
+
+    for (const char *expected :
+         {"system.cycles", "system.core0.committedOps",
+          "system.core0.lsq.occupancy",
+          "system.core1.l1d.demandMisses", "system.core0.l2.writebacks",
+          "system.llc.demandAccesses", "system.dx100.rowtable.hits",
+          "system.dx100.rowtable.coalescingFactor",
+          "system.dx100.opcode.ild", "system.dram.busUtilization",
+          "system.dram.ch0.rowHits", "system.dram.ch1.refCommands"}) {
+        EXPECT_TRUE(sys.statRegistry().has(expected))
+            << "missing stat path " << expected;
+    }
+}
+
+TEST(ComponentTree, DmpStatsRegistered)
+{
+    System sys(SystemConfig::withDmp(2));
+    EXPECT_TRUE(sys.statRegistry().has(
+        "system.core1.l1d.dmp.indirectPrefetches"));
+}
+
+TEST(ComponentTree, ValidateRejectsBadConfigs)
+{
+    ScopedFatalThrow guard;
+
+    SystemConfig zeroCores;
+    zeroCores.cores = 0;
+    EXPECT_THROW(zeroCores.validate(), FatalError);
+
+    SystemConfig badSets;
+    badSets.llc.sizeBytes = 3 * 1024 * 1024; // 6144 sets: not pow2
+    badSets.llc.assoc = 8;
+    EXPECT_THROW(badSets.validate(), FatalError);
+
+    SystemConfig indivisible;
+    indivisible.llc.assoc = 24; // 10 MB not divisible by 24 ways
+    EXPECT_THROW(indivisible.validate(), FatalError);
+
+    SystemConfig conflict = SystemConfig::withDx100();
+    conflict.dmp = true;
+    EXPECT_THROW(conflict.validate(), FatalError);
+
+    SystemConfig tooManyInstances = SystemConfig::withDx100(2);
+    tooManyInstances.dx100Instances = 3;
+    EXPECT_THROW(tooManyInstances.validate(), FatalError);
+
+    SystemConfig badChannels;
+    badChannels.dram.ctrl.geom.channels = 3;
+    EXPECT_THROW(badChannels.validate(), FatalError);
+
+    // The stock presets must all pass.
+    SystemConfig::baseline(2).validate();
+    SystemConfig::baseline(8).validate();
+    SystemConfig::withDx100(4, 2).validate();
+    SystemConfig::withDmp(4).validate();
+}
+
+TEST(ComponentTree, StatsJsonRoundTrip)
+{
+    System sys(SystemConfig::withDx100(2));
+    // Put some age on the clock and per-cycle integrals so the dump is
+    // not all zeros.
+    for (int i = 0; i < 500; ++i)
+        sys.tick();
+
+    const std::string file =
+        ::testing::TempDir() + "component_tree_stats.json";
+    sys.statRegistry().writeJsonFile(file);
+
+    std::ifstream in(file);
+    ASSERT_TRUE(in) << "dump file missing: " << file;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const std::string body = text.str();
+    MiniJsonParser parser(body);
+    const FlatJson flat = parser.parse();
+
+    // Every registry entry appears exactly once, in registration
+    // order, and parses back to the value the live registry reports.
+    const auto paths = sys.statRegistry().paths();
+    ASSERT_EQ(flat.leaves.size(), paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        EXPECT_EQ(flat.leaves[i].first, paths[i]);
+        EXPECT_DOUBLE_EQ(flat.leaves[i].second,
+                         sys.statRegistry().value(paths[i]))
+            << "mismatch at " << paths[i];
+    }
+
+    EXPECT_EQ(sys.statRegistry().intValue("system.cycles"),
+              sys.now());
+    std::remove(file.c_str());
+}

@@ -30,7 +30,7 @@ struct Collector : public MemRespSink
     DramSystem *dram = nullptr;
 
     void
-    memResponse(const MemRequest &req) override
+    complete(const MemRequest &req) override
     {
         done.push_back({req.tag,
                         dram->channel(req.coord.channel).now(),

@@ -39,7 +39,7 @@ struct CountingSink : public MemRespSink
     std::map<std::uint64_t, unsigned> writes;
 
     void
-    memResponse(const MemRequest &req) override
+    complete(const MemRequest &req) override
     {
         if (req.write)
             ++writes[req.tag];
@@ -163,7 +163,7 @@ TEST(DramTiming, SameBankActToActRespectsTrc)
         std::vector<Cycle> done;
         DramSystem *d = nullptr;
         void
-        memResponse(const MemRequest &req) override
+        complete(const MemRequest &req) override
         {
             done.push_back(d->channel(req.coord.channel).now());
         }

@@ -220,14 +220,14 @@ TEST(Dx100Behavior, SpdPortServesAndInvalidatesOnRewrite)
     struct Sink : public cache::CacheRespSink
     {
         int done = 0;
-        void cacheResponse(std::uint64_t) override { ++done; }
+        void complete(const std::uint64_t &) override { ++done; }
     } sink;
     cache::CacheReq req;
     req.addr = rig.rt->spdAddr(tile, 0);
     req.tag = 1;
     req.sink = &sink;
-    ASSERT_TRUE(rig.dev->spdPort().portCanAccept());
-    rig.dev->spdPort().portRequest(req);
+    ASSERT_TRUE(rig.dev->spdPort().canAccept());
+    rig.dev->spdPort().request(req);
     for (int t = 0; t < 200 && sink.done == 0; ++t)
         rig.dev->tick();
     EXPECT_EQ(sink.done, 1);

@@ -32,18 +32,6 @@ struct DirectEmitter : public cpu::OpEmitter
     }
 };
 
-Cycle
-drain(System &sys, Cycle limit = 20'000'000)
-{
-    Cycle t = 0;
-    while (!sys.dx100(0)->idle() && t < limit) {
-        sys.tick();
-        ++t;
-    }
-    EXPECT_TRUE(sys.dx100(0)->idle());
-    return t;
-}
-
 } // namespace
 
 TEST(Extensions, TopDownBfsCorrectOnBaseline)

@@ -76,7 +76,8 @@ TEST(DmpPrefetcher, LearnsIndirectPatternAndPrefetches)
     Rng rng(3);
     for (int i = 0; i < 64; ++i) {
         idx[i] = static_cast<std::uint32_t>(rng.below(4096));
-        mem.write<std::uint32_t>(bBase + Addr{i} * 4, idx[i]);
+        mem.write<std::uint32_t>(bBase + static_cast<Addr>(i) * 4,
+                                 idx[i]);
     }
 
     prefetch::IndirectPrefetcher::Config cfg;
@@ -86,7 +87,7 @@ TEST(DmpPrefetcher, LearnsIndirectPatternAndPrefetches)
     // aBase + idx*4.
     for (int i = 0; i < 40; ++i) {
         cache::CacheReq load;
-        load.addr = bBase + Addr{i} * 4;
+        load.addr = bBase + static_cast<Addr>(i) * 4;
         load.pc = 11;
         load.value = idx[i];
         pf.observe(load, true);
